@@ -1,0 +1,95 @@
+// Command juryd runs JURY's out-of-band validator as a standalone network
+// service (the separate validator host of Fig. 2). Controller modules
+// connect over TCP and stream responses as JSON lines; juryd pushes every
+// validation result (or only alarms, with -alarms-only) back to all
+// connected clients and logs them.
+//
+// Usage:
+//
+//	juryd -listen :9090 -k 6 -members 7 -timeout 130ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:9090", "address to listen on")
+		k          = flag.Int("k", 6, "replication factor (number of secondary controllers)")
+		members    = flag.Int("members", 7, "number of controllers in the cluster")
+		switches   = flag.Int("switches", 24, "number of switches in the deployment")
+		timeout    = flag.Duration("timeout", 130*time.Millisecond, "validation timeout θτ")
+		adaptive   = flag.Bool("adaptive", false, "enable the adaptive (EWMA) validation deadline")
+		alarmsOnly = flag.Bool("alarms-only", false, "push only fault results to clients")
+		statsEvery = flag.Duration("stats-every", 10*time.Second, "period for logging aggregate stats (0 = off)")
+	)
+	flag.Parse()
+
+	var (
+		ids []store.NodeID
+		ds  []topo.DPID
+	)
+	for i := 1; i <= *members; i++ {
+		ids = append(ids, store.NodeID(i))
+	}
+	for i := 1; i <= *switches; i++ {
+		ds = append(ds, topo.DPID(i))
+	}
+	srv, err := wire.Serve(*listen, wire.ServerConfig{
+		Validator: core.ValidatorConfig{
+			K:        *k,
+			Timeout:  *timeout,
+			Adaptive: *adaptive,
+		},
+		Members:    ids,
+		Switches:   ds,
+		AlarmsOnly: *alarmsOnly,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("juryd: validating on %s (k=%d, n=%d, timeout=%v)", srv.Addr(), *k, *members, *timeout)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-stop:
+			st := srv.Stats()
+			fmt.Printf("juryd: shutting down — %d decided, %d valid, %d alarms, %d timeouts\n",
+				st.Decided, st.Valid, st.Faults, st.Timeouts)
+			return nil
+		case <-tick:
+			st := srv.Stats()
+			log.Printf("juryd: decided=%d valid=%d alarms=%d timeouts=%d pending=%d",
+				st.Decided, st.Valid, st.Faults, st.Timeouts, st.Pending)
+		}
+	}
+}

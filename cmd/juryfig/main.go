@@ -1,0 +1,270 @@
+// Command juryfig regenerates every figure of the paper's evaluation
+// (§VII, Figs. 4a-4i) plus the policy-validation table, printing each as a
+// tab-separated series ready for plotting. Use -fig to regenerate a single
+// figure, or -all for the complete set (several minutes of simulation).
+//
+// Usage:
+//
+//	juryfig -fig 4a
+//	juryfig -all > figures.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	jury "github.com/jurysdn/jury"
+	"github.com/jurysdn/jury/internal/experiment"
+	"github.com/jurysdn/jury/internal/policy"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		fig  = flag.String("fig", "", "figure to regenerate: 4a 4b 4c 4d 4e 4f 4g 4h 4i policy")
+		all  = flag.Bool("all", false, "regenerate every figure")
+		dur  = flag.Duration("duration", 12*time.Second, "virtual duration per run")
+		seed = flag.Int64("seed", 7, "simulation seed")
+	)
+	flag.Parse()
+
+	figures := map[string]func(time.Duration, int64) error{
+		"4a":     fig4a,
+		"4b":     fig4b,
+		"4c":     fig4c,
+		"4d":     fig4d,
+		"4e":     fig4e,
+		"4f":     fig4f,
+		"4g":     fig4g,
+		"4h":     fig4h,
+		"4i":     fig4i,
+		"policy": policyTable,
+	}
+	order := []string{"4a", "4b", "4c", "4d", "4e", "4f", "4g", "4h", "4i", "policy"}
+	if *all {
+		for _, name := range order {
+			if err := figures[name](*dur, *seed); err != nil {
+				return fmt.Errorf("fig %s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	f, ok := figures[strings.ToLower(*fig)]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (choose from %s)", *fig, strings.Join(order, " "))
+	}
+	return f(*dur, *seed)
+}
+
+func printCDF(label string, res *experiment.DetectionResult) {
+	for _, p := range res.Detections.CDF(25) {
+		fmt.Printf("%s\t%.3f\t%.3f\n", label, float64(p.Value)/float64(time.Millisecond), p.Fraction)
+	}
+}
+
+func fig4a(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4a: ONOS detection-time CDFs (series\tms\tfraction)")
+	for _, c := range []struct{ k, m int }{{2, 0}, {4, 0}, {6, 0}, {6, 2}} {
+		res, err := experiment.Detection(experiment.DetectionConfig{
+			Kind: jury.ONOS, K: c.k, M: c.m,
+			BaseRate: 1500, PeakRate: 5500,
+			Duration: dur, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printCDF(fmt.Sprintf("k=%d,m=%d", c.k, c.m), res)
+	}
+	return nil
+}
+
+func fig4b(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4b: ONOS detection-time CDFs by PACKET_IN rate, k=6 m=0")
+	for _, rate := range []float64{500, 3000, 5500} {
+		res, err := experiment.Detection(experiment.DetectionConfig{
+			Kind: jury.ONOS, K: 6,
+			BaseRate: rate, PeakRate: rate,
+			Duration: dur, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printCDF(fmt.Sprintf("%.0f/s", rate), res)
+	}
+	return nil
+}
+
+func fig4c(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4c: ODL detection-time CDFs")
+	for _, c := range []struct{ k, m int }{{2, 0}, {4, 0}, {6, 0}, {6, 2}} {
+		res, err := experiment.Detection(experiment.DetectionConfig{
+			Kind: jury.ODL, K: c.k, M: c.m,
+			BaseRate: 120, PeakRate: 120,
+			Timeout:  5 * time.Second,
+			Duration: dur, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printCDF(fmt.Sprintf("k=%d,m=%d", c.k, c.m), res)
+	}
+	return nil
+}
+
+func fig4d(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4d: ONOS detection times on benign traces, k=6 m=2 (+false-positive rate)")
+	for _, name := range []string{"LBNL", "UNIV", "SMIA"} {
+		res, err := experiment.Detection(experiment.DetectionConfig{
+			Kind: jury.ONOS, K: 6, M: 2,
+			Trace:    name,
+			Timeout:  130 * time.Millisecond,
+			Duration: dur, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		printCDF(name, res)
+		fmt.Printf("# %s: decided=%d false-positive rate=%.3f%%\n", name, res.Decided, res.FPRate*100)
+	}
+	return nil
+}
+
+func fig4e(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4e: Cbench bursts overwhelm the controller (second\tpacketin/s\tflowmod/s)")
+	res, err := experiment.Cbench(12000, 20*time.Second, seed)
+	if err != nil {
+		return err
+	}
+	for i := range res.Seconds {
+		fmt.Printf("%d\t%.0f\t%.0f\n", res.Seconds[i], res.PacketIns[i], res.FlowMods[i])
+	}
+	return nil
+}
+
+func throughputFig(kind jury.ControllerKind, rates []float64, dur time.Duration, seed int64) error {
+	for _, n := range []int{1, 3, 5, 7} {
+		for _, rate := range rates {
+			pt, err := experiment.Throughput(kind, n, -1, rate, dur, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("n=%d\t%.0f\t%.0f\t%.0f\n", n, rate, pt.PacketIns, pt.FlowMods)
+		}
+	}
+	return nil
+}
+
+func fig4f(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4f: vanilla ONOS (series\toffered\tpacketin/s\tflowmod/s)")
+	return throughputFig(jury.ONOS, []float64{1000, 3000, 5000, 7500, 10000}, dur, seed)
+}
+
+func fig4g(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4g: vanilla ODL (series\toffered\tpacketin/s\tflowmod/s)")
+	return throughputFig(jury.ODL, []float64{200, 400, 600, 800, 1000}, dur, seed)
+}
+
+func fig4h(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4h: JURY-enhanced ONOS, n=7 (series\toffered\tflowmod/s)")
+	for _, k := range []int{-1, 2, 4, 6} {
+		label := "vanilla"
+		if k >= 0 {
+			label = fmt.Sprintf("jury k=%d", k)
+		}
+		for _, rate := range []float64{2000, 4000, 6000, 8000, 10000} {
+			pt, err := experiment.Throughput(jury.ONOS, 7, k, rate, dur, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\t%.0f\t%.0f\n", label, rate, pt.FlowMods)
+		}
+	}
+	return nil
+}
+
+func fig4i(dur time.Duration, seed int64) error {
+	fmt.Println("# Fig 4i: ODL decapsulation overhead CDF (series\tµs\tfraction)")
+	for _, rate := range []float64{100, 200, 300, 400, 500} {
+		d, err := experiment.Decapsulation(rate, dur, seed)
+		if err != nil {
+			return err
+		}
+		for _, p := range d.CDF(25) {
+			fmt.Printf("%.0f/s\t%.1f\t%.3f\n", rate, float64(p.Value)/float64(time.Microsecond), p.Fraction)
+		}
+	}
+	return nil
+}
+
+func policyTable(time.Duration, int64) error {
+	fmt.Println("# Policy validation cost (§VII-B2(3)): policies\tlinear-scan\tindexed")
+	for _, n := range []int{100, 1000, 10000} {
+		linear, indexed, err := policyCost(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d\t%v\t%v\n", n, linear, indexed)
+	}
+	return nil
+}
+
+// policyCost measures the wall-clock cost of validating one response
+// against n policies with the linear and indexed engines.
+func policyCost(n int) (linear, indexed time.Duration, err error) {
+	policies := syntheticPolicies(n)
+	lin, err := policy.New(policies)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx, err := policy.NewIndexed(policies)
+	if err != nil {
+		return 0, 0, err
+	}
+	in := policy.Input{
+		Kind:  trigger.External,
+		Cache: store.FlowsDB,
+		Op:    store.OpCreate,
+		Key:   "of:0000000000000001/abc",
+		Value: `{"dpid":1}`,
+	}
+	const reps = 200
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		lin.Check(in)
+	}
+	linear = time.Since(start) / reps
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		idx.Check(in)
+	}
+	indexed = time.Since(start) / reps
+	return linear, indexed, nil
+}
+
+// syntheticPolicies builds the simulated policy sets of §VII-B2(3): none
+// match the probe response, so the whole set is scanned.
+func syntheticPolicies(n int) []policy.Policy {
+	caches := []string{"LinksDB", "EdgesDB", "HostDB", "ArpDB"}
+	ops := []string{"create", "update", "delete"}
+	out := make([]policy.Policy, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, policy.Policy{
+			Name:       fmt.Sprintf("p%d", i),
+			Controller: fmt.Sprintf("%d", i%7+1),
+			Cache:      caches[i%len(caches)],
+			Operation:  ops[i%len(ops)],
+			Entry:      fmt.Sprintf("10.%d.*,*", i%250),
+		})
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package jury
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/policy"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+// ControllerKind selects a calibrated controller profile.
+type ControllerKind uint8
+
+// Controller kinds.
+const (
+	// ONOS models ONOS v1.0.0: eventually consistent store, fast
+	// multi-worker pipeline, ANY_CONTROLLER_ONE_MASTER clustering.
+	ONOS ControllerKind = iota + 1
+	// ODL models OpenDaylight Hydrogen: strongly consistent store, slow
+	// single-worker pipeline, SINGLE_CONTROLLER clustering.
+	ODL
+)
+
+// String names the kind.
+func (k ControllerKind) String() string {
+	if k == ODL {
+		return "odl"
+	}
+	return "onos"
+}
+
+// TopologyKind selects a built-in topology.
+type TopologyKind uint8
+
+// Topologies.
+const (
+	// Linear24 is the 24-switch / 24-host Mininet setup of §VII.
+	Linear24 TopologyKind = iota + 1
+	// ThreeTier is the 8-edge/4-aggregate/2-core physical testbed shape.
+	ThreeTier
+	// SingleSwitch is a one-switch Cbench-style topology.
+	SingleSwitch
+)
+
+// Config assembles a simulated deployment.
+type Config struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Kind selects the controller profile (default ONOS).
+	Kind ControllerKind
+	// Profile overrides the calibrated profile entirely when non-nil.
+	Profile *controller.Profile
+	// ClusterSize is n, the number of controller replicas (default 7).
+	ClusterSize int
+	// Topology selects the data-plane shape (default Linear24).
+	Topology TopologyKind
+	// CustomTopology overrides Topology when non-nil.
+	CustomTopology *topo.Topology
+	// ClusterMode overrides the HA connection-management mode implied by
+	// the controller kind (ANY_CONTROLLER_ONE_MASTER for ONOS,
+	// SINGLE_CONTROLLER for ODL). Set cluster.ActivePassive for the
+	// Active-Passive deployment of §II-A.
+	ClusterMode cluster.Mode
+
+	// EnableJury interposes replicators, modules and the validator.
+	EnableJury bool
+	// K is JURY's replication factor (default n-1, full replication).
+	K int
+	// ValidationTimeout is θτ (default: calibrated per profile).
+	ValidationTimeout time.Duration
+	// AdaptiveTimeout enables the EWMA adaptive deadline (§VIII-1).
+	AdaptiveTimeout bool
+	// RelayAll disables k+1 sampling of cache relays.
+	RelayAll bool
+	// NoStateAware disables the validator's state-aware consensus
+	// refinements (ablation).
+	NoStateAware bool
+	// Policies is the administrator policy set evaluated by the
+	// validator.
+	Policies []policy.Policy
+	// IndexedPolicies compiles the policy set with a cache index
+	// (ablation; the paper's engine scans linearly).
+	IndexedPolicies bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Kind == 0 {
+		c.Kind = ONOS
+	}
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 7
+	}
+	if c.ClusterSize < 1 {
+		return c, fmt.Errorf("jury: cluster size must be >= 1, got %d", c.ClusterSize)
+	}
+	if c.Topology == 0 {
+		c.Topology = Linear24
+	}
+	if c.EnableJury {
+		if c.K == 0 {
+			c.K = c.ClusterSize - 1
+		}
+		if c.K > c.ClusterSize-1 {
+			return c, fmt.Errorf("jury: k=%d exceeds cluster size n=%d", c.K, c.ClusterSize)
+		}
+		if c.ValidationTimeout == 0 {
+			if c.Kind == ODL {
+				c.ValidationTimeout = 700 * time.Millisecond
+			} else {
+				c.ValidationTimeout = 130 * time.Millisecond
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c Config) profile() controller.Profile {
+	if c.Profile != nil {
+		return *c.Profile
+	}
+	if c.Kind == ODL {
+		return controller.ODLProfile()
+	}
+	return controller.ONOSProfile()
+}
+
+func (c Config) clusterMode() cluster.Mode {
+	if c.ClusterMode != 0 {
+		return c.ClusterMode
+	}
+	if c.Kind == ODL {
+		return cluster.SingleController
+	}
+	return cluster.AnyControllerOneMaster
+}
+
+func (c Config) storeConfig(p controller.Profile) store.Config {
+	sc := store.DefaultConfig(p.Consistency)
+	if p.Consistency == store.Eventual {
+		sc.FlowBusService = p.StoreBusService
+	}
+	if c.EnableJury && c.K > 0 && p.JuryStoreOverhead > 0 {
+		extra := time.Duration(c.K) * p.JuryStoreOverhead
+		if p.Consistency == store.Eventual {
+			sc.FlowBusService += extra
+		} else {
+			sc.CommitBase += extra
+		}
+	}
+	return sc
+}
+
+func (c Config) replicationMode() core.ReplicationMode {
+	if c.Kind == ODL {
+		return core.EncapMode
+	}
+	return core.ProxyMode
+}

@@ -1,0 +1,3 @@
+module github.com/jurysdn/jury
+
+go 1.22

@@ -1,0 +1,574 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+// rig is a minimal wired cluster for controller tests.
+type rig struct {
+	eng     *simnet.Engine
+	cluster *store.Cluster
+	members *cluster.Membership
+	ctrls   []*Controller
+	// sent captures southbound messages per controller id.
+	sent map[store.NodeID][]EgressWrite
+}
+
+func newRig(t *testing.T, n int, switches int, profile Profile) *rig {
+	t.Helper()
+	eng := simnet.NewEngine(1)
+	sc := store.NewCluster(eng, store.DefaultConfig(profile.Consistency))
+	var (
+		memberIDs []store.NodeID
+		ds        []topo.DPID
+	)
+	for i := 1; i <= n; i++ {
+		memberIDs = append(memberIDs, store.NodeID(i))
+	}
+	for i := 1; i <= switches; i++ {
+		ds = append(ds, topo.DPID(i))
+	}
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster, memberIDs, ds)
+	r := &rig{eng: eng, cluster: sc, members: members, sent: make(map[store.NodeID][]EgressWrite)}
+	for _, id := range memberIDs {
+		node := sc.AddNode(id)
+		c := New(eng, id, profile, node, members)
+		id := id
+		c.AddEgressHook(func(_ *Controller, w *EgressWrite) HookAction {
+			r.sent[id] = append(r.sent[id], *w)
+			return Proceed
+		})
+		for _, d := range ds {
+			c.downlinks[d] = func(openflow.Message) {}
+		}
+		r.ctrls = append(r.ctrls, c)
+	}
+	return r
+}
+
+func quietProfile() Profile {
+	p := ONOSProfile()
+	p.PausePeriod = 0 // deterministic tests
+	p.LLDPPeriod = 0
+	return p
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if err := r.eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) ctrl(id int) *Controller { return r.ctrls[id-1] }
+
+func extCtx(id string, primary store.NodeID) *trigger.Context {
+	return &trigger.Context{ID: trigger.ID(id), Kind: trigger.External, Primary: primary}
+}
+
+func TestFeaturesReplyWritesSwitchDB(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	c := r.ctrl(1)
+	c.HandleSouthbound(1, &openflow.FeaturesReply{DatapathID: 1, Ports: []uint16{1, 2}}, extCtx("t1", 1))
+	r.run(t)
+	if v, ok := c.Node().Get(store.SwitchDB, topo.DPID(1).String()); !ok || !strings.Contains(v, "connected") {
+		t.Fatalf("SwitchDB entry = %q, %v", v, ok)
+	}
+	if got := c.switchPorts[1]; len(got) != 2 {
+		t.Fatalf("ports = %v", got)
+	}
+}
+
+func TestLLDPWritesBothDirections(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	// Switch 1 → C1, switch 2 → C2; liveness master = C2 (higher id).
+	c2 := r.ctrl(2)
+	frame := openflow.LLDPPacket(controllerMAC(1), 1, 3)
+	pin := &openflow.PacketIn{InPort: 2, Data: frame}
+	c2.HandleSouthbound(2, pin, extCtx("t1", 2))
+	r.run(t)
+	for _, key := range []string{"1:3->2:2", "2:2->1:3"} {
+		if v, ok := c2.Node().Get(store.LinksDB, key); !ok || v != "up" {
+			t.Fatalf("LinksDB[%s] = %q, %v", key, v, ok)
+		}
+	}
+}
+
+func TestLLDPNonLivenessMasterSkips(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	// C1 (lower id) receives LLDP for cross-governed link: must not write.
+	c1 := r.ctrl(1)
+	frame := openflow.LLDPPacket(controllerMAC(2), 2, 2)
+	c1.HandleSouthbound(1, &openflow.PacketIn{InPort: 3, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	if c1.Node().Len(store.LinksDB) != 0 {
+		t.Fatal("non-liveness-master wrote LinksDB")
+	}
+}
+
+func TestLLDPTaintedEvaluatesAsPrimary(t *testing.T) {
+	r := newRig(t, 3, 3, quietProfile())
+	// Link between switch 1 (C1) and switch 2 (C2): liveness master C2.
+	// C3 replays the trigger as a secondary; it must produce C2's writes.
+	c3 := r.ctrl(3)
+	var captured []CacheWrite
+	c3.AddCacheHook(func(_ *Controller, w *CacheWrite) HookAction {
+		if w.Ctx.Tainted() {
+			captured = append(captured, *w)
+			return Suppress
+		}
+		return Proceed
+	})
+	frame := openflow.LLDPPacket(controllerMAC(1), 1, 3)
+	ctx := extCtx("t1", 2).ReplicaOf()
+	c3.HandleSouthbound(2, &openflow.PacketIn{InPort: 2, Data: frame}, ctx)
+	r.run(t)
+	if len(captured) != 2 {
+		t.Fatalf("captured %d writes, want 2 (both directions)", len(captured))
+	}
+}
+
+func TestLivenessOverrideSuppressesTracking(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	c2 := r.ctrl(2)
+	c2.LivenessIDOverride = -1 // rebooted with lower election id
+	frame := openflow.LLDPPacket(controllerMAC(1), 1, 3)
+	c2.HandleSouthbound(2, &openflow.PacketIn{InPort: 2, Data: frame}, extCtx("t1", 2))
+	r.run(t)
+	if c2.Node().Len(store.LinksDB) != 0 {
+		t.Fatal("overridden liveness master still wrote LinksDB")
+	}
+}
+
+func TestARPLearnsHostOnEdgePort(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	mac := topo.HostMAC(1)
+	frame := openflow.ARPPacket(openflow.ARPRequest, mac, topo.HostIP(1), openflow.MAC{}, topo.HostIP(2))
+	c.HandleSouthbound(1, &openflow.PacketIn{InPort: 1, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	if _, ok := c.Node().Get(store.HostDB, mac.String()); !ok {
+		t.Fatal("host not learned")
+	}
+	if v, _ := c.Node().Get(store.ArpDB, topo.HostIP(1).String()); v != mac.String() {
+		t.Fatalf("ArpDB = %q", v)
+	}
+	// Unknown binding: must flood the request.
+	found := false
+	for _, w := range r.sent[1] {
+		if po, ok := w.Msg.(*openflow.PacketOut); ok && po.Actions[0].Port == openflow.PortFlood {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unknown target not flooded")
+	}
+}
+
+func TestARPInteriorPortDoesNotLearn(t *testing.T) {
+	r := newRig(t, 1, 2, quietProfile())
+	c := r.ctrl(1)
+	// Teach the controller that (1,3) is a link endpoint.
+	c.Node().Write(store.LinksDB, store.OpCreate, LinkKey(topo.Port{DPID: 1, Port: 3}, topo.Port{DPID: 2, Port: 2}), "up", nil)
+	mac := topo.HostMAC(1)
+	frame := openflow.ARPPacket(openflow.ARPRequest, mac, topo.HostIP(1), openflow.MAC{}, topo.HostIP(2))
+	c.HandleSouthbound(1, &openflow.PacketIn{InPort: 3, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	if _, ok := c.Node().Get(store.HostDB, mac.String()); ok {
+		t.Fatal("host learned from interior port")
+	}
+}
+
+func TestProxyARPAnswersKnownBinding(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	target := topo.HostMAC(2)
+	c.Node().Write(store.ArpDB, store.OpCreate, topo.HostIP(2).String(), target.String(), nil)
+	mac := topo.HostMAC(1)
+	frame := openflow.ARPPacket(openflow.ARPRequest, mac, topo.HostIP(1), openflow.MAC{}, topo.HostIP(2))
+	c.HandleSouthbound(1, &openflow.PacketIn{InPort: 1, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	var reply *openflow.PacketOut
+	for _, w := range r.sent[1] {
+		if po, ok := w.Msg.(*openflow.PacketOut); ok {
+			if pf, err := openflow.ParsePacket(po.Data, 0); err == nil && pf.ARPOp == openflow.ARPReply {
+				reply = po
+			}
+		}
+	}
+	if reply == nil {
+		t.Fatal("no proxy ARP reply")
+	}
+	pf, _ := openflow.ParsePacket(reply.Data, 0)
+	if pf.EthSrc != target || pf.EthDst != mac {
+		t.Fatalf("reply addresses wrong: %v -> %v", pf.EthSrc, pf.EthDst)
+	}
+}
+
+// seedTwoSwitchTopology gives every controller knowledge of hosts h1@1:1,
+// h2@2:1 and the 1<->2 link.
+func seedTwoSwitchTopology(r *rig) {
+	link := LinkKey(topo.Port{DPID: 1, Port: 3}, topo.Port{DPID: 2, Port: 2})
+	rlink := LinkKey(topo.Port{DPID: 2, Port: 2}, topo.Port{DPID: 1, Port: 3})
+	h1 := hostRecord{MAC: topo.HostMAC(1).String(), IP: topo.HostIP(1).String(), DPID: 1, Port: 1}
+	h2 := hostRecord{MAC: topo.HostMAC(2).String(), IP: topo.HostIP(2).String(), DPID: 2, Port: 1}
+	n := r.ctrl(1).Node()
+	n.Write(store.LinksDB, store.OpCreate, link, "up", nil)
+	n.Write(store.LinksDB, store.OpCreate, rlink, "up", nil)
+	n.Write(store.EdgesDB, store.OpCreate, h1.MAC, h1.encode(), nil)
+	n.Write(store.EdgesDB, store.OpCreate, h2.MAC, h2.encode(), nil)
+	r.eng.RunUntilIdle()
+}
+
+func TestReactiveForwardingInstallsHopRule(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	seedTwoSwitchTopology(r)
+	c1 := r.ctrl(1)
+	frame := openflow.TCPPacket(topo.HostMAC(1), topo.HostMAC(2), topo.HostIP(1), topo.HostIP(2), 1000, 80, 0x02, 0)
+	c1.HandleSouthbound(1, &openflow.PacketIn{InPort: 1, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	// One rule in FlowsDB for switch 1 pointing at port 3 (toward sw2).
+	keys := c1.Node().Keys(store.FlowsDB)
+	if len(keys) != 1 {
+		t.Fatalf("FlowsDB entries = %d, want 1 (hop-by-hop)", len(keys))
+	}
+	v, _ := c1.Node().Get(store.FlowsDB, keys[0])
+	rule, err := DecodeFlowRule(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.DPID != 1 || rule.Actions[0].Port != 3 {
+		t.Fatalf("rule = %+v", rule)
+	}
+	// The triggering packet was released via PACKET_OUT out port 3.
+	var released bool
+	for _, w := range r.sent[1] {
+		if po, ok := w.Msg.(*openflow.PacketOut); ok && po.Actions[0].Port == 3 {
+			released = true
+		}
+	}
+	if !released {
+		t.Fatal("triggering packet not released")
+	}
+}
+
+func TestForwardingUnknownDstFloods(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	frame := openflow.TCPPacket(topo.HostMAC(1), topo.HostMAC(9), topo.HostIP(1), topo.HostIP(9), 1, 2, 0, 0)
+	c.HandleSouthbound(1, &openflow.PacketIn{InPort: 1, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	if c.Node().Len(store.FlowsDB) != 0 {
+		t.Fatal("rule installed for unknown destination")
+	}
+	if len(r.sent[1]) != 1 {
+		t.Fatalf("sent = %d", len(r.sent[1]))
+	}
+}
+
+func TestMasterIssuesFlowModOnFlowsDBEvent(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	// C1 writes a rule for switch 2 (mastered by C2): C2 must emit the
+	// FLOW_MOD (remote-switch programming via the shared store, §II-A1).
+	rule := FlowRule{
+		DPID:     2,
+		Match:    openflow.ExactDst(topo.HostMAC(2)),
+		Priority: 5,
+		Actions:  []openflow.Action{openflow.Output(1)},
+		Command:  uint16(openflow.FlowAdd),
+		Trigger:  "t9",
+		Origin:   1,
+	}
+	r.ctrl(1).Node().WriteTagged(store.FlowsDB, store.OpCreate, rule.Key(), rule.Encode(), "t9", nil)
+	r.run(t)
+	var c2FlowMods int
+	for _, w := range r.sent[2] {
+		if _, ok := w.Msg.(*openflow.FlowMod); ok {
+			c2FlowMods++
+			if w.Ctx == nil || w.Ctx.ID != "t9" {
+				t.Fatalf("flow mod ctx = %+v", w.Ctx)
+			}
+		}
+	}
+	if c2FlowMods != 1 {
+		t.Fatalf("C2 emitted %d FLOW_MODs, want 1", c2FlowMods)
+	}
+	for _, w := range r.sent[1] {
+		if _, ok := w.Msg.(*openflow.FlowMod); ok {
+			t.Fatal("non-master emitted FLOW_MOD")
+		}
+	}
+}
+
+func TestFlowRemovedDeletesCacheEntry(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	rule := FlowRule{DPID: 1, Match: openflow.ExactDst(topo.HostMAC(2)), Priority: 5}
+	c.Node().Write(store.FlowsDB, store.OpCreate, rule.Key(), rule.Encode(), nil)
+	r.run(t)
+	c.HandleSouthbound(1, &openflow.FlowRemoved{
+		Match:    rule.Match,
+		Priority: rule.Priority,
+		Reason:   openflow.RemovedIdleTimeout,
+	}, extCtx("t2", 1))
+	r.run(t)
+	if c.Node().Len(store.FlowsDB) != 0 {
+		t.Fatal("expired rule not deleted from FlowsDB")
+	}
+}
+
+func TestRESTInstallWritesTaggedRule(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	rule := FlowRule{DPID: 1, Match: openflow.MatchAll(), Priority: 1, Actions: []openflow.Action{openflow.Output(1)}}
+	c.InstallFlowREST(rule, extCtx("rest-1", 1))
+	r.run(t)
+	keys := c.Node().Keys(store.FlowsDB)
+	if len(keys) != 1 {
+		t.Fatalf("FlowsDB = %d entries", len(keys))
+	}
+	v, _ := c.Node().Get(store.FlowsDB, keys[0])
+	got, _ := DecodeFlowRule(v)
+	if got.Trigger != "rest-1" || got.Origin != 1 {
+		t.Fatalf("attribution = %+v", got)
+	}
+}
+
+func TestRESTDeleteMapsToCacheDelete(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	rule := FlowRule{DPID: 1, Match: openflow.MatchAll(), Priority: 1}
+	c.Node().Write(store.FlowsDB, store.OpCreate, rule.Key(), rule.Encode(), nil)
+	r.run(t)
+	del := rule
+	del.Command = uint16(openflow.FlowDelete)
+	c.InstallFlowREST(del, extCtx("rest-2", 1))
+	r.run(t)
+	if c.Node().Len(store.FlowsDB) != 0 {
+		t.Fatal("REST delete did not remove the cache entry")
+	}
+}
+
+func TestInternalInstallHasNoTriggerTag(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	var tags []string
+	c.Node().Subscribe(func(_ store.NodeID, ev store.Event, _ bool) { tags = append(tags, ev.Tag) })
+	c.InstallFlowInternal(FlowRule{DPID: 1, Match: openflow.MatchAll(), Priority: 1})
+	r.run(t)
+	if len(tags) != 1 {
+		t.Fatalf("events = %d", len(tags))
+	}
+	// Internal triggers carry the internal trigger id as the tag; the
+	// rule itself is untainted (Trigger field empty).
+	v, _ := c.Node().Get(store.FlowsDB, c.Node().Keys(store.FlowsDB)[0])
+	rule, _ := DecodeFlowRule(v)
+	if rule.Trigger != "" {
+		t.Fatalf("internal rule carries trigger %q", rule.Trigger)
+	}
+}
+
+func TestCacheHookCanMutateAndSuppress(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	c.AddCacheHook(func(_ *Controller, w *CacheWrite) HookAction {
+		if w.Cache == store.LinksDB {
+			w.Value = "down"
+		}
+		if w.Cache == store.SwitchDB {
+			return Suppress
+		}
+		return Proceed
+	})
+	c.WriteCache(store.LinksDB, store.OpCreate, "k", "up", nil, nil)
+	c.WriteCache(store.SwitchDB, store.OpCreate, "s", "connected", nil, nil)
+	r.run(t)
+	if v, _ := c.Node().Get(store.LinksDB, "k"); v != "down" {
+		t.Fatalf("mutation lost: %q", v)
+	}
+	if _, ok := c.Node().Get(store.SwitchDB, "s"); ok {
+		t.Fatal("suppressed write reached the store")
+	}
+}
+
+func TestPrependHookRunsFirst(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	var order []string
+	c.AddCacheHook(func(_ *Controller, _ *CacheWrite) HookAction {
+		order = append(order, "module")
+		return Proceed
+	})
+	c.PrependCacheHook(func(_ *Controller, _ *CacheWrite) HookAction {
+		order = append(order, "fault")
+		return Proceed
+	})
+	c.WriteCache(store.HostDB, store.OpCreate, "k", "v", nil, nil)
+	if len(order) < 2 || order[0] != "fault" {
+		t.Fatalf("hook order = %v", order)
+	}
+}
+
+func TestCrashStopsProcessing(t *testing.T) {
+	r := newRig(t, 2, 2, quietProfile())
+	c := r.ctrl(1)
+	c.Crash()
+	if !c.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if r.members.IsAlive(1) {
+		t.Fatal("membership not updated")
+	}
+	c.HandleSouthbound(1, &openflow.FeaturesReply{DatapathID: 1}, extCtx("t", 1))
+	r.run(t)
+	if c.Node().Len(store.SwitchDB) != 0 {
+		t.Fatal("crashed controller processed a trigger")
+	}
+}
+
+func TestTimingFaultDelaysProcessing(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	c.SetExtraDelay(50*time.Millisecond, 0)
+	var doneAt time.Duration
+	c.OnProcessed = func(_ topo.DPID, _ openflow.Message, _ *trigger.Context) { doneAt = r.eng.Now() }
+	c.HandleSouthbound(1, &openflow.FeaturesReply{DatapathID: 1}, extCtx("t", 1))
+	r.run(t)
+	if doneAt < 50*time.Millisecond {
+		t.Fatalf("processed at %v, want >= 50ms", doneAt)
+	}
+}
+
+func TestGCPauseStallsJobs(t *testing.T) {
+	p := quietProfile()
+	p.PausePeriod = 10 * time.Millisecond
+	p.PauseMin = 5 * time.Millisecond
+	p.PauseMax = 6 * time.Millisecond
+	r := newRig(t, 1, 1, p)
+	c := r.ctrl(1)
+	stalled := 0
+	for i := 0; i < 200; i++ {
+		r.eng.Schedule(time.Duration(i)*time.Millisecond, func() {
+			if c.pauseDelay() > 0 {
+				stalled++
+			}
+		})
+	}
+	r.run(t)
+	if stalled == 0 {
+		t.Fatal("no pause stalls observed")
+	}
+}
+
+func TestServiceClassSelection(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	arp := &openflow.PacketIn{Data: openflow.ARPPacket(openflow.ARPRequest, topo.HostMAC(1), topo.HostIP(1), openflow.MAC{}, topo.HostIP(2))}
+	ip := &openflow.PacketIn{Data: openflow.TCPPacket(topo.HostMAC(1), topo.HostMAC(2), topo.HostIP(1), topo.HostIP(2), 1, 2, 0, 0)}
+	if got := c.classMean(arp); got != c.profile.ARPService {
+		t.Fatalf("ARP class = %v", got)
+	}
+	if got := c.classMean(ip); got != c.profile.FlowSetupService {
+		t.Fatalf("IPv4 class = %v", got)
+	}
+}
+
+func TestFlowRuleRoundTrip(t *testing.T) {
+	rule := FlowRule{
+		DPID:        3,
+		Match:       openflow.ExactSrcDst(topo.HostMAC(1), topo.HostMAC(2)),
+		Priority:    10,
+		Actions:     []openflow.Action{openflow.Output(4)},
+		IdleTimeout: 10,
+		Command:     uint16(openflow.FlowAdd),
+		Trigger:     "τ1",
+		Origin:      2,
+	}
+	got, err := DecodeFlowRule(rule.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key() != rule.Key() {
+		t.Fatal("key not stable across round trip")
+	}
+	fm := got.FlowMod(7)
+	if fm.XID != 7 || fm.Priority != 10 || fm.Actions[0].Port != 4 {
+		t.Fatalf("flow mod = %+v", fm)
+	}
+}
+
+func TestDecodeFlowRuleRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFlowRule("not json"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLinkKeyRoundTrip(t *testing.T) {
+	src := topo.Port{DPID: 12, Port: 3}
+	dst := topo.Port{DPID: 7, Port: 2}
+	s, d, err := parseLinkKey(LinkKey(src, dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != src || d != dst {
+		t.Fatalf("round trip: %v %v", s, d)
+	}
+	if _, _, err := parseLinkKey("bogus"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseMAC(t *testing.T) {
+	mac := topo.HostMAC(300)
+	got, err := ParseMAC(mac.String())
+	if err != nil || got != mac {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "xx", "00:00:00:00:00", "zz:00:00:00:00:00", "00-00-00-00-00-00"} {
+		if _, err := ParseMAC(bad); err == nil {
+			t.Fatalf("ParseMAC(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestProactiveForwardingInstallsDestRules(t *testing.T) {
+	p := quietProfile()
+	p.ProactiveForwarding = true
+	r := newRig(t, 1, 2, p)
+	c := r.ctrl(1)
+	// The controller knows both switches and the link between them.
+	c.Node().Write(store.SwitchDB, store.OpCreate, topo.DPID(1).String(), "connected", nil)
+	c.Node().Write(store.SwitchDB, store.OpCreate, topo.DPID(2).String(), "connected", nil)
+	c.Node().Write(store.LinksDB, store.OpCreate, LinkKey(topo.Port{DPID: 1, Port: 3}, topo.Port{DPID: 2, Port: 2}), "up", nil)
+	c.Node().Write(store.LinksDB, store.OpCreate, LinkKey(topo.Port{DPID: 2, Port: 2}, topo.Port{DPID: 1, Port: 3}), "up", nil)
+	r.run(t)
+	// New host joins at switch 2 port 1.
+	mac := topo.HostMAC(5)
+	frame := openflow.ARPPacket(openflow.ARPRequest, mac, topo.HostIP(5), openflow.MAC{}, topo.HostIP(1))
+	c.HandleSouthbound(2, &openflow.PacketIn{InPort: 1, Data: frame}, extCtx("t1", 1))
+	r.run(t)
+	// Dest-based rules for both switches.
+	count := 0
+	for _, key := range c.Node().Keys(store.FlowsDB) {
+		v, _ := c.Node().Get(store.FlowsDB, key)
+		rule, err := DecodeFlowRule(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rule.Match.Equal(openflow.ExactDst(mac)) {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("proactive rules = %d, want 2", count)
+	}
+}

@@ -1,0 +1,126 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+// FlowRule is the FlowsDB representation of a flow entry: controllers issue
+// FLOW_MODs to local and remote switches by writing rules to the flow cache
+// (§II-A1); the governing controller of the target switch observes the
+// cache update and emits the actual FLOW_MOD.
+type FlowRule struct {
+	DPID        topo.DPID         `json:"dpid"`
+	Match       openflow.Match    `json:"match"`
+	Priority    uint16            `json:"priority"`
+	Actions     []openflow.Action `json:"actions"`
+	IdleTimeout uint16            `json:"idleTimeoutSec,omitempty"`
+	HardTimeout uint16            `json:"hardTimeoutSec,omitempty"`
+	Command     uint16            `json:"command"`
+
+	// Trigger and Origin attribute the rule to the trigger and controller
+	// that produced it, carrying JURY's taint through the cache.
+	Trigger trigger.ID   `json:"trigger,omitempty"`
+	Origin  store.NodeID `json:"origin"`
+	// State tracks the ONOS-style entry lifecycle: empty = PENDING_ADD
+	// (written, not yet confirmed on the switch), RuleAdded after the
+	// reconciler sees it in the switch's flow stats, RuleStuck after
+	// repeated confirmations failed (the appendix PENDING_ADD symptom).
+	State string `json:"state,omitempty"`
+}
+
+// Flow rule lifecycle states (the ONOS PENDING_ADD/ADDED machine).
+const (
+	RuleAdded = "added"
+	RuleStuck = "pending-add-stuck"
+)
+
+// Key returns the FlowsDB key for the rule: target switch plus a digest of
+// the match and priority, so add/modify/delete address the same entry.
+func (r FlowRule) Key() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", r.DPID, r.Match.String(), r.Priority)
+	return fmt.Sprintf("%s/%016x", r.DPID, h.Sum64())
+}
+
+// Encode serializes the rule for storage in FlowsDB.
+func (r FlowRule) Encode() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Marshal of this struct cannot fail; keep the API infallible.
+		return "{}"
+	}
+	return string(b)
+}
+
+// DecodeFlowRule parses a FlowsDB value.
+func DecodeFlowRule(s string) (FlowRule, error) {
+	var r FlowRule
+	if err := json.Unmarshal([]byte(s), &r); err != nil {
+		return FlowRule{}, fmt.Errorf("controller: decode flow rule: %w", err)
+	}
+	return r, nil
+}
+
+// FlowMod converts the rule to its OpenFlow message.
+func (r FlowRule) FlowMod(xid uint32) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		XID:         xid,
+		Match:       r.Match,
+		Command:     openflow.FlowModCommand(r.Command),
+		IdleTimeout: r.IdleTimeout,
+		HardTimeout: r.HardTimeout,
+		Priority:    r.Priority,
+		BufferID:    0xFFFFFFFF,
+		OutPort:     openflow.PortNone,
+		Actions:     r.Actions,
+	}
+}
+
+// hostRecord is the HostDB / EdgesDB value for a learned host.
+type hostRecord struct {
+	MAC  string    `json:"mac"`
+	IP   string    `json:"ip"`
+	DPID topo.DPID `json:"dpid"`
+	Port uint16    `json:"port"`
+}
+
+func (h hostRecord) encode() string {
+	b, err := json.Marshal(h)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+func decodeHostRecord(s string) (hostRecord, error) {
+	var h hostRecord
+	if err := json.Unmarshal([]byte(s), &h); err != nil {
+		return hostRecord{}, fmt.Errorf("controller: decode host record: %w", err)
+	}
+	return h, nil
+}
+
+// LinkKey renders the LinksDB key for a unidirectional link.
+func LinkKey(src, dst topo.Port) string {
+	return fmt.Sprintf("%d:%d->%d:%d", src.DPID, src.Port, dst.DPID, dst.Port)
+}
+
+// linkKey is the internal alias of LinkKey.
+func linkKey(src, dst topo.Port) string { return LinkKey(src, dst) }
+
+// parseLinkKey is the inverse of linkKey.
+func parseLinkKey(key string) (src, dst topo.Port, err error) {
+	var s1, p1, s2, p2 uint64
+	if _, err = fmt.Sscanf(key, "%d:%d->%d:%d", &s1, &p1, &s2, &p2); err != nil {
+		return topo.Port{}, topo.Port{}, fmt.Errorf("controller: bad link key %q: %w", key, err)
+	}
+	return topo.Port{DPID: topo.DPID(s1), Port: uint16(p1)},
+		topo.Port{DPID: topo.DPID(s2), Port: uint16(p2)}, nil
+}

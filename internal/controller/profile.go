@@ -1,0 +1,132 @@
+package controller
+
+import (
+	"time"
+
+	"github.com/jurysdn/jury/internal/store"
+)
+
+// Profile captures the performance and behaviour model of a controller
+// implementation. Two calibrated profiles are shipped, standing in for the
+// controllers the paper evaluates: ONOS v1.0.0 (eventually consistent,
+// fast pipeline) and OpenDaylight Hydrogen (strongly consistent, slow
+// pipeline). Constants are calibrated so the saturation points and
+// detection-time scales of §VII emerge from queueing (see DESIGN.md).
+type Profile struct {
+	Name        string
+	Consistency store.Consistency
+
+	// Workers is the parallelism of the PACKET_IN processing pipeline.
+	Workers int
+	// QueueCap bounds the ingress queue; overflow models TCP
+	// zero-window back-pressure (Fig. 4e).
+	QueueCap int
+
+	// Mean service times per trigger class (exponentially distributed).
+	FlowSetupService time.Duration // IPv4 packets: path + FLOW_MOD pipeline
+	ARPService       time.Duration // host tracking / proxy ARP (PACKET_OUT path)
+	LLDPService      time.Duration // topology discovery
+	HandshakeService time.Duration // HELLO/FEATURES/switch connect
+	ReplicaService   time.Duration // replicated (tainted) trigger execution
+	EgressService    time.Duration // southbound I/O cost per message
+
+	// PerReplicaOverhead is added to FlowSetupService for each extra
+	// cluster member (cheap async backup fan-out in the ONOS model).
+	PerReplicaOverhead time.Duration
+	// JuryPrimaryOverhead is added per secondary (k) on the primary when
+	// JURY is enabled — the Hazelcast-update cost §VII-B1 attributes the
+	// <11% throughput drop to.
+	JuryPrimaryOverhead time.Duration
+
+	// StoreBusService serializes eventual-mode cache writes cluster-wide
+	// when n > 1 (the Hazelcast flow-backup bottleneck of footnote 4).
+	StoreBusService time.Duration
+	// JuryStoreOverhead is added to the backup-bus (or strong-commit)
+	// cost per JURY secondary: the extra Hazelcast work the secondaries'
+	// validation-related cache activity puts on the primary's store path
+	// — the cause §VII-B1 gives for the <11% FLOW_MOD throughput drop.
+	JuryStoreOverhead time.Duration
+
+	// GC pause model: the JVM controller stalls its pipeline for
+	// U(PauseMin, PauseMax) roughly every PausePeriod. Pauses produce the
+	// heavy right tail of the detection-time CDFs.
+	PausePeriod time.Duration
+	PauseMin    time.Duration
+	PauseMax    time.Duration
+
+	// InflateAt / InflateSlope model the overload slowdown of an
+	// overwhelmed controller (memory bloat): service inflates as the
+	// backlog grows past InflateAt. Zero in the calibrated profiles
+	// (graceful saturation, Figs. 4f/4g); the Cbench experiment
+	// (Fig. 4e) enables it to reproduce the collapse.
+	InflateAt    int
+	InflateSlope float64
+
+	// LLDPPeriod is the topology-discovery emission period.
+	LLDPPeriod time.Duration
+	// ReconcilePeriod enables the ONOS-style flow reconciliation loop:
+	// the master polls its switches' flow stats and moves FlowsDB rules
+	// from PENDING_ADD to ADDED when confirmed (or marks them stuck
+	// after repeated misses, the appendix PENDING_ADD symptom). Zero
+	// disables reconciliation; it roughly doubles FlowsDB write volume,
+	// so the calibrated throughput profiles leave it off.
+	ReconcilePeriod time.Duration
+	// ProactiveForwarding selects ODL-style destination-based proactive
+	// rule installation on host discovery instead of reactive src-dst
+	// forwarding. The paper's JURY prototype replaced ODL's proactive
+	// module with a reactive one (§VI-C), which is the default here.
+	ProactiveForwarding bool
+}
+
+// ONOSProfile returns the calibrated ONOS-like profile.
+func ONOSProfile() Profile {
+	return Profile{
+		Name:             "onos",
+		Consistency:      store.Eventual,
+		Workers:          8,
+		QueueCap:         2048,
+		FlowSetupService: 1550 * time.Microsecond, // ~5.2K FLOW_MOD/s with 8 workers
+		ARPService:       35 * time.Microsecond,   // PACKET_OUT path ~220K/s
+		LLDPService:      180 * time.Microsecond,
+		HandshakeService: 250 * time.Microsecond,
+		ReplicaService:   280 * time.Microsecond,
+		EgressService:    25 * time.Microsecond,
+
+		PerReplicaOverhead:  16 * time.Microsecond,
+		JuryPrimaryOverhead: 28 * time.Microsecond,
+		StoreBusService:     205 * time.Microsecond, // ~4.9K/s shared backup bus
+		JuryStoreOverhead:   3400 * time.Nanosecond, // ~10% bus cost at k=6
+
+		PausePeriod: 300 * time.Millisecond,
+		PauseMin:    10 * time.Millisecond,
+		PauseMax:    85 * time.Millisecond,
+
+		LLDPPeriod: time.Second,
+	}
+}
+
+// ODLProfile returns the calibrated OpenDaylight-like profile.
+func ODLProfile() Profile {
+	return Profile{
+		Name:             "odl",
+		Consistency:      store.Strong,
+		Workers:          1,
+		QueueCap:         1024,
+		FlowSetupService: 1100 * time.Microsecond, // ~800 FLOW_MOD/s after GC duty
+		ARPService:       120 * time.Microsecond,
+		LLDPService:      400 * time.Microsecond,
+		HandshakeService: 600 * time.Microsecond,
+		ReplicaService:   900 * time.Microsecond,
+		EgressService:    60 * time.Microsecond,
+
+		PerReplicaOverhead:  0,
+		JuryPrimaryOverhead: 60 * time.Microsecond,
+		JuryStoreOverhead:   80 * time.Microsecond, // strong-commit share at k=6
+
+		PausePeriod: 700 * time.Millisecond,
+		PauseMin:    60 * time.Millisecond,
+		PauseMax:    320 * time.Millisecond,
+
+		LLDPPeriod: time.Second,
+	}
+}

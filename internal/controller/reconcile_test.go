@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+func TestReconcileConfirmsInstalledRule(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	rule := FlowRule{DPID: 1, Match: openflow.ExactDst(topo.HostMAC(2)), Priority: 10,
+		Actions: []openflow.Action{openflow.Output(1)}, Command: uint16(openflow.FlowAdd), Origin: 1}
+	c.Node().Write(store.FlowsDB, store.OpCreate, rule.Key(), rule.Encode(), nil)
+	r.run(t)
+	// The switch reports the entry as installed.
+	reply := &openflow.FlowStatsReply{Flows: []openflow.FlowStat{{Match: rule.Match, Priority: rule.Priority}}}
+	c.HandleSouthbound(1, reply, &trigger.Context{ID: "rt", Kind: trigger.Internal, Primary: 1})
+	r.run(t)
+	v, _ := c.Node().Get(store.FlowsDB, rule.Key())
+	got, err := DecodeFlowRule(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != RuleAdded {
+		t.Fatalf("state = %q, want added", got.State)
+	}
+	// Re-confirmation must not rewrite.
+	before := c.Node().Applied()
+	c.HandleSouthbound(1, reply, &trigger.Context{ID: "rt2", Kind: trigger.Internal, Primary: 1})
+	r.run(t)
+	if c.Node().Applied() != before {
+		t.Fatal("idempotent confirmation rewrote the rule")
+	}
+}
+
+func TestReconcileMarksStuckAfterThreeMisses(t *testing.T) {
+	r := newRig(t, 1, 1, quietProfile())
+	c := r.ctrl(1)
+	rule := FlowRule{DPID: 1, Match: openflow.ExactDst(topo.HostMAC(2)), Priority: 10, Origin: 1}
+	c.Node().Write(store.FlowsDB, store.OpCreate, rule.Key(), rule.Encode(), nil)
+	r.run(t)
+	empty := &openflow.FlowStatsReply{}
+	for i := 0; i < 3; i++ {
+		c.HandleSouthbound(1, empty, &trigger.Context{ID: trigger.ID("r"), Kind: trigger.Internal, Primary: 1})
+		r.run(t)
+	}
+	v, _ := c.Node().Get(store.FlowsDB, rule.Key())
+	got, _ := DecodeFlowRule(v)
+	if got.State != RuleStuck {
+		t.Fatalf("state = %q, want %s", got.State, RuleStuck)
+	}
+}
+
+func TestReconcileTickPollsGovernedSwitches(t *testing.T) {
+	p := quietProfile()
+	p.ReconcilePeriod = 100 * time.Millisecond
+	r := newRig(t, 1, 2, p)
+	c := r.ctrl(1)
+	c.Start()
+	if err := r.eng.Run(350 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	requests := 0
+	for _, w := range r.sent[1] {
+		if _, ok := w.Msg.(*openflow.FlowStatsRequest); ok {
+			requests++
+		}
+	}
+	// 3 ticks × 2 governed switches.
+	if requests != 6 {
+		t.Fatalf("stats requests = %d, want 6", requests)
+	}
+}
+
+func TestPortStatusMarksLinkDown(t *testing.T) {
+	r := newRig(t, 1, 2, quietProfile())
+	c := r.ctrl(1)
+	key := LinkKey(topo.Port{DPID: 1, Port: 3}, topo.Port{DPID: 2, Port: 2})
+	rkey := LinkKey(topo.Port{DPID: 2, Port: 2}, topo.Port{DPID: 1, Port: 3})
+	c.Node().Write(store.LinksDB, store.OpCreate, key, "up", nil)
+	c.Node().Write(store.LinksDB, store.OpCreate, rkey, "up", nil)
+	r.run(t)
+	c.HandleSouthbound(1, &openflow.PortStatus{Port: 3, Down: true},
+		&trigger.Context{ID: "ps", Kind: trigger.External, Primary: 1})
+	r.run(t)
+	for _, k := range []string{key, rkey} {
+		if v, _ := c.Node().Get(store.LinksDB, k); v != "down" {
+			t.Fatalf("LinksDB[%s] = %q after PORT_STATUS", k, v)
+		}
+	}
+	// Link-up PORT_STATUS does not mark up (LLDP confirms instead).
+	c.HandleSouthbound(1, &openflow.PortStatus{Port: 3, Down: false},
+		&trigger.Context{ID: "ps2", Kind: trigger.External, Primary: 1})
+	r.run(t)
+	if v, _ := c.Node().Get(store.LinksDB, key); v != "down" {
+		t.Fatal("PORT_STATUS up must not mark the link up")
+	}
+}
+
+func TestRuleStateStrippedFromConsensusBody(t *testing.T) {
+	// The lifecycle state is master-local bookkeeping and must not make
+	// replicated copies of the same rule compare unequal.
+	a := FlowRule{DPID: 1, Match: openflow.ExactDst(topo.HostMAC(1)), Priority: 1, Origin: 2, State: RuleAdded}
+	b := FlowRule{DPID: 1, Match: openflow.ExactDst(topo.HostMAC(1)), Priority: 1, Origin: 3}
+	if a.Key() != b.Key() {
+		t.Fatal("keys differ")
+	}
+	if !strings.Contains(a.Encode(), RuleAdded) {
+		t.Fatal("state not serialized at all")
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+// TestPropertyAgreementNeverConvicts: any trigger where the primary and all
+// secondaries produce identical bodies from identical states must be
+// decided valid, whatever the ordering of arrivals.
+func TestPropertyAgreementNeverConvicts(t *testing.T) {
+	f := func(orderSeed int64, value uint8, digest uint64) bool {
+		eng, v := propValidator(2)
+		var res *Result
+		v.OnResult = func(r Result) { res = &r }
+		body := fmt.Sprintf("v%d", value)
+		responses := []Response{
+			cacheResp(1, 1, "τ", "k", body, digest),
+			execResp(2, 1, "τ", "k", body, digest),
+			execResp(3, 1, "τ", "k", body, digest),
+		}
+		rng := rand.New(rand.NewSource(orderSeed))
+		rng.Shuffle(len(responses), func(i, j int) {
+			responses[i], responses[j] = responses[j], responses[i]
+		})
+		for _, r := range responses {
+			v.Submit(r)
+		}
+		if err := eng.RunUntilIdle(); err != nil {
+			return false
+		}
+		return res != nil && res.Verdict == VerdictValid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyConvictionNeedsQuorum: fewer than quorum conflicting
+// secondaries must never convict the primary on a value fault.
+func TestPropertyConvictionNeedsQuorum(t *testing.T) {
+	f := func(k8 uint8, digest uint64) bool {
+		k := int(k8%5) + 2 // k in [2,6]
+		eng, v := propValidator(k)
+		var res *Result
+		v.OnResult = func(r Result) { res = &r }
+		v.Submit(cacheResp(1, 1, "τ", "key", "primary-answer", digest))
+		// quorum-1 same-state conflicts, the rest agree.
+		quorum := k/2 + 1
+		id := store.NodeID(2)
+		for i := 0; i < quorum-1; i++ {
+			v.Submit(execResp(id, 1, "τ", "key", "other-answer", digest))
+			id++
+		}
+		for int(id) <= k+1 {
+			v.Submit(execResp(id, 1, "τ", "key", "primary-answer", digest))
+			id++
+		}
+		if err := eng.RunUntilIdle(); err != nil {
+			return false
+		}
+		return res != nil && res.Verdict != VerdictFault
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEveryTriggerDecidesExactlyOnce: whatever mix of responses
+// arrives, each trigger id decides exactly once and the validator holds no
+// permanently pending state.
+func TestPropertyEveryTriggerDecidesExactlyOnce(t *testing.T) {
+	f := func(raw []uint8) bool {
+		eng, v := propValidator(2)
+		decided := make(map[trigger.ID]int)
+		v.OnResult = func(r Result) { decided[r.Trigger]++ }
+		triggers := make(map[trigger.ID]bool)
+		for i, b := range raw {
+			trig := trigger.ID(fmt.Sprintf("τ%d", b%16))
+			triggers[trig] = true
+			ctrl := store.NodeID(b%3 + 1)
+			var r Response
+			switch (b / 16) % 4 {
+			case 0:
+				r = cacheResp(ctrl, 1, string(trig), "k", fmt.Sprintf("v%d", i%3), uint64(b))
+			case 1:
+				r = execResp(ctrl, 1, string(trig), "k", fmt.Sprintf("v%d", i%2), uint64(b))
+			case 2:
+				r = doneResp(ctrl, 1, string(trig), uint64(b))
+			case 3:
+				r = Response{Controller: ctrl, Primary: 1, Trigger: trig, Kind: NetworkWrite, DPID: 1, MsgType: 13, MsgBody: "packetout"}
+			}
+			v.Submit(r)
+			// Occasionally advance time so some triggers expire mid-stream.
+			if i%7 == 0 {
+				_ = eng.Run(eng.Now() + 30*time.Millisecond)
+			}
+		}
+		if err := eng.RunUntilIdle(); err != nil {
+			return false
+		}
+		for trig := range triggers {
+			if decided[trig] != 1 {
+				return false
+			}
+		}
+		// Grace-period entries may remain briefly but must all be decided.
+		return int(v.Decided()) == len(triggers)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDetectionWithinTimeout: no decision can take longer than the
+// configured validation timeout (plus zero slack — the timer is the hard
+// deadline of §IV-C C).
+func TestPropertyDetectionWithinTimeout(t *testing.T) {
+	f := func(raw []uint8) bool {
+		eng, v := propValidator(2)
+		ok := true
+		v.OnResult = func(r Result) {
+			if r.DetectionTime > v.Config().Timeout {
+				ok = false
+			}
+		}
+		for i, b := range raw {
+			trig := fmt.Sprintf("τ%d", b%8)
+			v.Submit(cacheResp(store.NodeID(b%3+1), 1, trig, "k", fmt.Sprintf("v%d", i%4), uint64(b%5)))
+			if i%5 == 0 {
+				_ = eng.Run(eng.Now() + 20*time.Millisecond)
+			}
+		}
+		if err := eng.RunUntilIdle(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func propValidator(k int) (*simnet.Engine, *Validator) {
+	eng := simnet.NewEngine(1)
+	var ids []store.NodeID
+	for i := 1; i <= k+1; i++ {
+		ids = append(ids, store.NodeID(i))
+	}
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster, ids, []topo.DPID{1})
+	return eng, NewValidator(eng, members, ValidatorConfig{K: k, Timeout: 100 * time.Millisecond})
+}
+
+func TestNonDetExemptHook(t *testing.T) {
+	_, v := newValidator(t, 2)
+	v.NonDetExempt = func(r Response) bool { return r.Cache == store.LinksDB }
+	var res *Result
+	v.OnResult = func(r Result) { res = &r }
+	// Same-state quorum contradiction, but the slot is exempt.
+	v.Submit(cacheResp(1, 1, "τ", "k", "down", 7))
+	v.Submit(execResp(2, 1, "τ", "k", "up", 7))
+	v.Submit(execResp(3, 1, "τ", "k", "up", 7))
+	if res == nil || res.Verdict != VerdictNonDeterministic {
+		t.Fatalf("res = %+v, want non-deterministic exemption", res)
+	}
+}

@@ -1,0 +1,458 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+func newTestSwitch(t *testing.T) (*simnet.Engine, *Switch, *[]openflow.Message) {
+	t.Helper()
+	eng := simnet.NewEngine(1)
+	sw := NewSwitch(eng, 1)
+	sw.SetPorts([]uint16{1, 2, 3})
+	var up []openflow.Message
+	sw.SetSendUp(func(m openflow.Message) { up = append(up, m) })
+	return eng, sw, &up
+}
+
+func flowModAdd(match openflow.Match, prio uint16, out uint16) *openflow.FlowMod {
+	return &openflow.FlowMod{
+		Match:    match,
+		Command:  openflow.FlowAdd,
+		Priority: prio,
+		Actions:  []openflow.Action{openflow.Output(out)},
+	}
+}
+
+func TestSwitchMissGeneratesPacketIn(t *testing.T) {
+	_, sw, up := newTestSwitch(t)
+	frame := openflow.TCPPacket(openflow.MAC{1}, openflow.MAC{2}, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0)
+	sw.Inject(frame, 2)
+	if len(*up) != 1 {
+		t.Fatalf("messages up = %d", len(*up))
+	}
+	pin, ok := (*up)[0].(*openflow.PacketIn)
+	if !ok {
+		t.Fatalf("got %T", (*up)[0])
+	}
+	if pin.InPort != 2 || pin.Reason != openflow.ReasonNoMatch {
+		t.Fatalf("pin = %+v", pin)
+	}
+	if sw.PacketIns() != 1 {
+		t.Fatalf("counter = %d", sw.PacketIns())
+	}
+}
+
+func TestSwitchMissDropWhenDisabled(t *testing.T) {
+	_, sw, up := newTestSwitch(t)
+	sw.TableMissToController = false
+	sw.Inject(openflow.TCPPacket(openflow.MAC{1}, openflow.MAC{2}, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0), 1)
+	if len(*up) != 0 || sw.Dropped() != 1 {
+		t.Fatalf("up=%d dropped=%d", len(*up), sw.Dropped())
+	}
+}
+
+func TestSwitchInstallAndForward(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	var forwarded []uint16
+	sw.SetForward(func(_ []byte, out, _ uint16) { forwarded = append(forwarded, out) })
+	src, dst := openflow.MAC{1}, openflow.MAC{2}
+	sw.HandleControllerMessage(flowModAdd(openflow.ExactSrcDst(src, dst), 10, 3))
+	frame := openflow.TCPPacket(src, dst, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0)
+	sw.Inject(frame, 1)
+	if len(forwarded) != 1 || forwarded[0] != 3 {
+		t.Fatalf("forwarded = %v", forwarded)
+	}
+	entries := sw.Table()
+	if len(entries) != 1 || entries[0].Packets != 1 {
+		t.Fatalf("table = %+v", entries)
+	}
+}
+
+func TestSwitchPriorityOrdering(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	var outs []uint16
+	sw.SetForward(func(_ []byte, out, _ uint16) { outs = append(outs, out) })
+	src, dst := openflow.MAC{1}, openflow.MAC{2}
+	sw.HandleControllerMessage(flowModAdd(openflow.MatchAll(), 1, 9))             // low prio catch-all
+	sw.HandleControllerMessage(flowModAdd(openflow.ExactSrcDst(src, dst), 10, 3)) // high prio specific
+	sw.Inject(openflow.TCPPacket(src, dst, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0), 1)
+	if len(outs) != 1 || outs[0] != 3 {
+		t.Fatalf("high-priority rule not preferred: %v", outs)
+	}
+	sw.Inject(openflow.TCPPacket(dst, src, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0), 1)
+	if len(outs) != 2 || outs[1] != 9 {
+		t.Fatalf("catch-all not used: %v", outs)
+	}
+}
+
+func TestSwitchAddOverwritesSameMatch(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	m := openflow.ExactDst(openflow.MAC{5})
+	sw.HandleControllerMessage(flowModAdd(m, 10, 1))
+	sw.HandleControllerMessage(flowModAdd(m, 10, 2))
+	table := sw.Table()
+	if len(table) != 1 {
+		t.Fatalf("table size = %d, want 1 (overwrite)", len(table))
+	}
+	if table[0].Actions[0].Port != 2 {
+		t.Fatal("second ADD did not overwrite")
+	}
+}
+
+func TestSwitchDelete(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	m := openflow.ExactDst(openflow.MAC{5})
+	sw.HandleControllerMessage(flowModAdd(m, 10, 1))
+	del := &openflow.FlowMod{Match: m, Command: openflow.FlowDelete}
+	sw.HandleControllerMessage(del)
+	if len(sw.Table()) != 0 {
+		t.Fatal("delete did not remove entry")
+	}
+}
+
+func TestSwitchDeleteStrictRespectsPriority(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	m := openflow.ExactDst(openflow.MAC{5})
+	sw.HandleControllerMessage(flowModAdd(m, 10, 1))
+	sw.HandleControllerMessage(flowModAdd(m, 20, 2))
+	sw.HandleControllerMessage(&openflow.FlowMod{Match: m, Command: openflow.FlowDeleteStrict, Priority: 10})
+	table := sw.Table()
+	if len(table) != 1 || table[0].Priority != 20 {
+		t.Fatalf("strict delete wrong: %+v", table)
+	}
+}
+
+func TestSwitchModify(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	m := openflow.ExactDst(openflow.MAC{5})
+	sw.HandleControllerMessage(flowModAdd(m, 10, 1))
+	sw.HandleControllerMessage(&openflow.FlowMod{
+		Match:   m,
+		Command: openflow.FlowModify,
+		Actions: []openflow.Action{openflow.Output(7)},
+	})
+	if sw.Table()[0].Actions[0].Port != 7 {
+		t.Fatal("modify did not change actions")
+	}
+}
+
+func TestSwitchIdleTimeoutExpires(t *testing.T) {
+	eng, sw, up := newTestSwitch(t)
+	fm := flowModAdd(openflow.ExactDst(openflow.MAC{5}), 10, 1)
+	fm.IdleTimeout = 2
+	fm.Flags = openflow.FlagSendFlowRem
+	sw.HandleControllerMessage(fm)
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Table()) != 0 {
+		t.Fatal("idle entry not expired")
+	}
+	var removed *openflow.FlowRemoved
+	for _, m := range *up {
+		if fr, ok := m.(*openflow.FlowRemoved); ok {
+			removed = fr
+		}
+	}
+	if removed == nil || removed.Reason != openflow.RemovedIdleTimeout {
+		t.Fatalf("FLOW_REMOVED = %+v", removed)
+	}
+}
+
+func TestSwitchIdleTimeoutRefreshedByTraffic(t *testing.T) {
+	eng, sw, _ := newTestSwitch(t)
+	dst := openflow.MAC{5}
+	fm := flowModAdd(openflow.ExactDst(dst), 10, 1)
+	fm.IdleTimeout = 2
+	sw.HandleControllerMessage(fm)
+	// Hit the rule every second for 5 seconds.
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(time.Duration(i)*time.Second, func() {
+			sw.Inject(openflow.TCPPacket(openflow.MAC{1}, dst, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0), 2)
+		})
+	}
+	if err := eng.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Table()) != 1 {
+		t.Fatal("active entry expired despite traffic")
+	}
+	if err := eng.Run(10 * time.Second); err != nil { // horizon is absolute
+		t.Fatal(err)
+	}
+	if len(sw.Table()) != 0 {
+		t.Fatal("entry survived idle period")
+	}
+}
+
+func TestSwitchHardTimeout(t *testing.T) {
+	eng, sw, _ := newTestSwitch(t)
+	fm := flowModAdd(openflow.MatchAll(), 10, 1)
+	fm.HardTimeout = 1
+	sw.HandleControllerMessage(fm)
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Table()) != 0 {
+		t.Fatal("hard timeout did not expire entry")
+	}
+}
+
+func TestSwitchRejectsInvalidHierarchy(t *testing.T) {
+	_, sw, up := newTestSwitch(t)
+	bad := openflow.MatchAll()
+	bad.Wildcards &^= openflow.WildcardTPDst
+	bad.TPDst = 80
+	sw.HandleControllerMessage(flowModAdd(bad, 10, 1))
+	if len(sw.Table()) != 0 {
+		t.Fatal("invalid match installed")
+	}
+	if len(*up) != 1 {
+		t.Fatalf("expected error message, got %d messages", len(*up))
+	}
+	if _, ok := (*up)[0].(*openflow.ErrorMsg); !ok {
+		t.Fatalf("got %T, want ErrorMsg", (*up)[0])
+	}
+}
+
+func TestSwitchAcceptsInvalidMatchWhenPermissive(t *testing.T) {
+	_, sw, up := newTestSwitch(t)
+	sw.AcceptInvalidMatch = true
+	bad := openflow.MatchAll()
+	bad.Wildcards &^= openflow.WildcardTPDst
+	bad.TPDst = 80
+	sw.HandleControllerMessage(flowModAdd(bad, 10, 1))
+	if len(*up) != 0 {
+		t.Fatal("permissive switch should not error")
+	}
+	table := sw.Table()
+	if len(table) != 1 {
+		t.Fatal("rule not installed")
+	}
+	// The orphaned L4 field must have been discarded: installed match is
+	// broader than requested (covers any port).
+	if !table[0].Match.Covers(openflow.PacketFields{TPDst: 9999}) {
+		t.Fatal("invalid fields were not stripped")
+	}
+}
+
+func TestSwitchPendingAddState(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	sw.HoldPendingAdd = true
+	sw.HandleControllerMessage(flowModAdd(openflow.MatchAll(), 1, 1))
+	if sw.Table()[0].State != FlowPendingAdd {
+		t.Fatal("entry should stay PENDING_ADD")
+	}
+}
+
+func TestSwitchHandshake(t *testing.T) {
+	_, sw, up := newTestSwitch(t)
+	sw.HandleControllerMessage(&openflow.Hello{XID: 1})
+	sw.HandleControllerMessage(&openflow.FeaturesRequest{XID: 2})
+	sw.HandleControllerMessage(&openflow.EchoRequest{XID: 3, Data: []byte("x")})
+	sw.HandleControllerMessage(&openflow.BarrierRequest{XID: 4})
+	if len(*up) != 4 {
+		t.Fatalf("messages = %d", len(*up))
+	}
+	fr, ok := (*up)[1].(*openflow.FeaturesReply)
+	if !ok || fr.DatapathID != 1 || len(fr.Ports) != 3 {
+		t.Fatalf("features reply = %+v", fr)
+	}
+}
+
+func TestSwitchPacketOut(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	var outs []uint16
+	sw.SetForward(func(_ []byte, out, _ uint16) { outs = append(outs, out) })
+	sw.HandleControllerMessage(&openflow.PacketOut{
+		Actions: []openflow.Action{openflow.Output(2)},
+		Data:    openflow.TCPPacket(openflow.MAC{1}, openflow.MAC{2}, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0),
+	})
+	if len(outs) != 1 || outs[0] != 2 {
+		t.Fatalf("packet out forwarded = %v", outs)
+	}
+	if sw.PacketOuts() != 1 {
+		t.Fatal("counter wrong")
+	}
+}
+
+func TestSwitchEmptyActionDrops(t *testing.T) {
+	_, sw, _ := newTestSwitch(t)
+	fm := &openflow.FlowMod{Match: openflow.MatchAll(), Command: openflow.FlowAdd}
+	sw.HandleControllerMessage(fm)
+	sw.Inject(openflow.TCPPacket(openflow.MAC{1}, openflow.MAC{2}, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0), 1)
+	if sw.Dropped() != 1 {
+		t.Fatal("empty action list should drop")
+	}
+}
+
+// Fabric tests.
+
+func TestFabricEndToEndDelivery(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.Linear(3)
+	f := NewFabric(eng, top)
+	// Install path rules host1@sw1 -> host3@sw3.
+	h1, _ := f.Host("h1")
+	h3, _ := f.Host("h3")
+	m := openflow.ExactSrcDst(h1.Info().MAC, h3.Info().MAC)
+	sw1, _ := f.Switch(1)
+	sw2, _ := f.Switch(2)
+	sw3, _ := f.Switch(3)
+	sw1.HandleControllerMessage(flowModAdd(m, 10, 3))
+	sw2.HandleControllerMessage(flowModAdd(m, 10, 3))
+	sw3.HandleControllerMessage(flowModAdd(m, 10, 1))
+	if err := h1.SendTCP(h3.Info().MAC, h3.Info().IP, 1234, 80, 0x02, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if h3.Received() != 1 {
+		t.Fatalf("h3 received %d frames", h3.Received())
+	}
+}
+
+func TestFabricHostARPReply(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.Linear(2)
+	f := NewFabric(eng, top)
+	h1, _ := f.Host("h1")
+	h2, _ := f.Host("h2")
+	// Flood rules so ARP reaches hosts without a controller.
+	for _, sw := range f.Switches() {
+		sw.HandleControllerMessage(flowModAdd(openflow.MatchAll(), 1, openflow.PortFlood))
+	}
+	if err := h1.SendARPRequest(h2.Info().IP); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ARPRepliesSent() != 1 {
+		t.Fatalf("h2 sent %d ARP replies", h2.ARPRepliesSent())
+	}
+	// The reply flooded back to h1.
+	if h1.Received() == 0 {
+		t.Fatal("h1 never received the reply")
+	}
+}
+
+func TestFabricFloodDoesNotStorm(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.ThreeTier(4, 2, 2, 1) // meshed topology with cycles
+	f := NewFabric(eng, top)
+	for _, sw := range f.Switches() {
+		sw.HandleControllerMessage(flowModAdd(openflow.MatchAll(), 1, openflow.PortFlood))
+	}
+	h1, _ := f.Host("h1")
+	eng.MaxEvents = 2_000_000
+	if err := h1.SendARPRequest(topo.HostIP(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatalf("flood stormed: %v", err)
+	}
+}
+
+func TestFabricLinkDown(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.Linear(2)
+	f := NewFabric(eng, top)
+	h1, _ := f.Host("h1")
+	h2, _ := f.Host("h2")
+	m := openflow.ExactSrcDst(h1.Info().MAC, h2.Info().MAC)
+	sw1, _ := f.Switch(1)
+	sw2, _ := f.Switch(2)
+	sw1.HandleControllerMessage(flowModAdd(m, 10, 3))
+	sw2.HandleControllerMessage(flowModAdd(m, 10, 1))
+	f.SetLinkDown(topo.Port{DPID: 1, Port: 3}, true)
+	_ = h1.SendTCP(h2.Info().MAC, h2.Info().IP, 1, 2, 0, 0)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Received() != 0 {
+		t.Fatal("frame crossed a failed link")
+	}
+	f.SetLinkDown(topo.Port{DPID: 1, Port: 3}, false)
+	_ = h1.SendTCP(h2.Info().MAC, h2.Info().IP, 1, 2, 0, 0)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Received() != 1 {
+		t.Fatal("frame lost after link restore")
+	}
+}
+
+func TestHostIgnoresForeignFrames(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.Linear(2)
+	f := NewFabric(eng, top)
+	h1, _ := f.Host("h1")
+	foreign := openflow.TCPPacket(openflow.MAC{9}, openflow.MAC{8}, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0)
+	h1.Receive(foreign)
+	if h1.Received() != 0 {
+		t.Fatal("host accepted frame not addressed to it")
+	}
+}
+
+func TestHostOnReceiveHook(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.Linear(2)
+	f := NewFabric(eng, top)
+	h1, _ := f.Host("h1")
+	called := false
+	h1.OnReceive = func([]byte) { called = true }
+	h1.Receive(openflow.TCPPacket(openflow.MAC{9}, h1.Info().MAC, openflow.IPv4{}, openflow.IPv4{}, 1, 2, 0, 0))
+	if !called {
+		t.Fatal("OnReceive not invoked")
+	}
+	_ = eng
+}
+
+func TestSwitchFlowStatsExcludesPending(t *testing.T) {
+	_, sw, up := newTestSwitch(t)
+	sw.HandleControllerMessage(flowModAdd(openflow.ExactDst(openflow.MAC{1}), 10, 1))
+	sw.HoldPendingAdd = true
+	sw.HandleControllerMessage(flowModAdd(openflow.ExactDst(openflow.MAC{2}), 10, 1))
+	*up = nil
+	sw.HandleControllerMessage(&openflow.FlowStatsRequest{XID: 5, Match: openflow.MatchAll(), OutPort: openflow.PortNone})
+	if len(*up) != 1 {
+		t.Fatalf("replies = %d", len(*up))
+	}
+	reply, ok := (*up)[0].(*openflow.FlowStatsReply)
+	if !ok {
+		t.Fatalf("got %T", (*up)[0])
+	}
+	if len(reply.Flows) != 1 {
+		t.Fatalf("stats entries = %d, want 1 (PENDING_ADD excluded)", len(reply.Flows))
+	}
+}
+
+func TestFabricLinkDownEmitsPortStatus(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	top, _ := topo.Linear(2)
+	f := NewFabric(eng, top)
+	var statuses []*openflow.PortStatus
+	for _, sw := range f.Switches() {
+		sw.SetSendUp(func(m openflow.Message) {
+			if ps, ok := m.(*openflow.PortStatus); ok {
+				statuses = append(statuses, ps)
+			}
+		})
+	}
+	f.SetLinkDown(topo.Port{DPID: 1, Port: 3}, true)
+	if len(statuses) != 2 {
+		t.Fatalf("port statuses = %d, want one per endpoint", len(statuses))
+	}
+	for _, ps := range statuses {
+		if !ps.Down {
+			t.Fatal("status not down")
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package metrics provides the small statistics toolkit used by the JURY
+// evaluation harness: latency distributions (CDFs, percentiles), rate
+// counters and time-binned series matching the figures of the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Distribution accumulates duration samples and answers percentile and CDF
+// queries. The zero value is ready to use.
+type Distribution struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (d *Distribution) Add(v time.Duration) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *Distribution) Count() int { return len(d.samples) }
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank interpolation; it returns 0 for an empty distribution.
+func (d *Distribution) Percentile(p float64) time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := p / 100 * float64(len(d.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return d.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return d.samples[lo] + time.Duration(frac*float64(d.samples[hi]-d.samples[lo]))
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (d *Distribution) Mean() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / time.Duration(len(d.samples))
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (d *Distribution) Max() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	return d.samples[len(d.samples)-1]
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (d *Distribution) Min() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	return d.samples[0]
+}
+
+// FractionBelow returns the fraction of samples strictly below limit.
+func (d *Distribution) FractionBelow(limit time.Duration) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	idx := sort.Search(len(d.samples), func(i int) bool { return d.samples[i] >= limit })
+	return float64(idx) / float64(len(d.samples))
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given number of
+// evenly spaced quantiles, suitable for plotting Figs. 4a-4d and 4i.
+func (d *Distribution) CDF(points int) []CDFPoint {
+	if len(d.samples) == 0 || points < 2 {
+		return nil
+	}
+	d.sort()
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		idx := int(frac * float64(len(d.samples)-1))
+		out = append(out, CDFPoint{Value: d.samples[idx], Fraction: frac})
+	}
+	return out
+}
+
+// Samples returns a copy of the recorded samples in sorted order.
+func (d *Distribution) Samples() []time.Duration {
+	d.sort()
+	out := make([]time.Duration, len(d.samples))
+	copy(out, d.samples)
+	return out
+}
+
+func (d *Distribution) sort() {
+	if d.sorted {
+		return
+	}
+	sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+	d.sorted = true
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    time.Duration `json:"value"`
+	Fraction float64       `json:"fraction"`
+}
+
+// Series is a time-binned event counter: each recorded event increments the
+// bin its timestamp falls into. It backs the throughput-over-time plots
+// (Fig. 4e) and rate measurements (Figs. 4f-4h).
+type Series struct {
+	bin   time.Duration
+	bins  []int64
+	total int64
+}
+
+// NewSeries creates a series with the given bin width.
+func NewSeries(bin time.Duration) *Series {
+	if bin <= 0 {
+		bin = time.Second
+	}
+	return &Series{bin: bin}
+}
+
+// Record counts one event at virtual time t.
+func (s *Series) Record(t time.Duration) {
+	idx := int(t / s.bin)
+	for len(s.bins) <= idx {
+		s.bins = append(s.bins, 0)
+	}
+	s.bins[idx]++
+	s.total++
+}
+
+// Total returns the number of recorded events.
+func (s *Series) Total() int64 { return s.total }
+
+// Rate returns events per second in the bin containing t.
+func (s *Series) Rate(t time.Duration) float64 {
+	idx := int(t / s.bin)
+	if idx < 0 || idx >= len(s.bins) {
+		return 0
+	}
+	return float64(s.bins[idx]) / s.bin.Seconds()
+}
+
+// Rates returns the per-bin rates (events/second).
+func (s *Series) Rates() []float64 {
+	out := make([]float64, len(s.bins))
+	for i, c := range s.bins {
+		out[i] = float64(c) / s.bin.Seconds()
+	}
+	return out
+}
+
+// MeanRate returns the average rate over [from, to).
+func (s *Series) MeanRate(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	var count int64
+	for i, c := range s.bins {
+		start := time.Duration(i) * s.bin
+		if start >= from && start < to {
+			count += c
+		}
+	}
+	return float64(count) / (to - from).Seconds()
+}
+
+// SteadyRate returns the mean rate after discarding the warmup prefix and
+// the final (possibly partial) bin.
+func (s *Series) SteadyRate(warmup time.Duration) float64 {
+	end := time.Duration(len(s.bins)-1) * s.bin
+	if end <= warmup {
+		return s.MeanRate(0, time.Duration(len(s.bins))*s.bin)
+	}
+	return s.MeanRate(warmup, end)
+}
+
+// Counter is a simple monotonic counter with byte/message semantics.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// FormatTable renders rows of labeled values as an aligned text table,
+// used by cmd/juryfig and EXPERIMENTS.md generation.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDistributionPercentiles(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{50, 50*time.Millisecond + 500*time.Microsecond},
+	}
+	for _, tt := range tests {
+		if got := d.Percentile(tt.p); got != tt.want {
+			t.Errorf("P%.0f = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if d.Percentile(50) != 0 || d.Mean() != 0 || d.Max() != 0 || d.Min() != 0 {
+		t.Fatal("empty distribution should return zeros")
+	}
+	if d.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestDistributionMeanMinMax(t *testing.T) {
+	var d Distribution
+	d.Add(10 * time.Millisecond)
+	d.Add(20 * time.Millisecond)
+	d.Add(30 * time.Millisecond)
+	if d.Mean() != 20*time.Millisecond {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if d.Min() != 10*time.Millisecond || d.Max() != 30*time.Millisecond {
+		t.Errorf("min/max = %v/%v", d.Min(), d.Max())
+	}
+}
+
+func TestDistributionFractionBelow(t *testing.T) {
+	var d Distribution
+	for i := 0; i < 10; i++ {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := d.FractionBelow(5 * time.Millisecond); got != 0.5 {
+		t.Errorf("FractionBelow(5ms) = %v, want 0.5", got)
+	}
+	if got := d.FractionBelow(100 * time.Millisecond); got != 1.0 {
+		t.Errorf("FractionBelow(100ms) = %v, want 1", got)
+	}
+}
+
+func TestDistributionCDFMonotonic(t *testing.T) {
+	var d Distribution
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		d.Add(time.Duration(rng.Intn(1e6)))
+	}
+	cdf := d.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotonic at %d", i)
+		}
+	}
+	if cdf[0].Fraction != 0 || cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatal("CDF endpoints wrong")
+	}
+}
+
+func TestDistributionPercentileMonotonicProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Distribution
+		for _, v := range raw {
+			d.Add(time.Duration(v % 1e9))
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			cur := d.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionSamplesSorted(t *testing.T) {
+	var d Distribution
+	d.Add(3)
+	d.Add(1)
+	d.Add(2)
+	s := d.Samples()
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+		t.Fatalf("samples not sorted: %v", s)
+	}
+	// Returned slice must be a copy.
+	s[0] = 999
+	if d.Min() == 999 {
+		t.Fatal("Samples leaked internal slice")
+	}
+}
+
+func TestSeriesRates(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 10; i++ {
+		s.Record(500 * time.Millisecond) // bin 0
+	}
+	for i := 0; i < 20; i++ {
+		s.Record(1500 * time.Millisecond) // bin 1
+	}
+	if s.Total() != 30 {
+		t.Fatalf("total = %d", s.Total())
+	}
+	if got := s.Rate(800 * time.Millisecond); got != 10 {
+		t.Fatalf("rate bin0 = %v", got)
+	}
+	if got := s.Rate(time.Second + 1); got != 20 {
+		t.Fatalf("rate bin1 = %v", got)
+	}
+	if got := s.Rate(10 * time.Second); got != 0 {
+		t.Fatalf("rate empty bin = %v", got)
+	}
+}
+
+func TestSeriesMeanRate(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 100; i++ {
+		s.Record(time.Duration(i) * 100 * time.Millisecond) // 10s span
+	}
+	got := s.MeanRate(0, 10*time.Second)
+	if got != 10 {
+		t.Fatalf("mean rate = %v, want 10", got)
+	}
+}
+
+func TestSeriesSteadyRateSkipsWarmup(t *testing.T) {
+	s := NewSeries(time.Second)
+	// Warmup burst in bin 0, steady 5/s in bins 1..9, partial bin 10.
+	for i := 0; i < 1000; i++ {
+		s.Record(100 * time.Millisecond)
+	}
+	for b := 1; b <= 9; b++ {
+		for i := 0; i < 5; i++ {
+			s.Record(time.Duration(b)*time.Second + time.Duration(i)*time.Millisecond)
+		}
+	}
+	s.Record(10*time.Second + time.Millisecond)
+	got := s.SteadyRate(time.Second)
+	if got != 5 {
+		t.Fatalf("steady rate = %v, want 5", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(7)
+	if c.Value() != 12 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestFormatTableAligns(t *testing.T) {
+	out := FormatTable([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}

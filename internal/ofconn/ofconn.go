@@ -1,0 +1,243 @@
+// Package ofconn carries OpenFlow 1.0 over real TCP connections, bridging
+// the simulation-grade components (dataplane switches, controllers) across
+// process or host boundaries: a ControllerEnd listens for switch
+// connections and feeds a controller's southbound pipeline; a SwitchEnd
+// dials out on behalf of a switch. Both ends pump their discrete-event
+// engines with wall time, so the same event-driven components that run
+// deterministically under simulation also run live.
+package ofconn
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+// Pump advances a discrete-event engine with wall-clock time, serializing
+// all access to the event-driven components behind a mutex. Components
+// created on the pumped engine must only be touched through Do.
+type Pump struct {
+	mu      sync.Mutex
+	eng     *simnet.Engine
+	started time.Time
+	stop    chan struct{}
+	done    sync.WaitGroup
+}
+
+// NewPump starts pumping eng every tick.
+func NewPump(eng *simnet.Engine, tick time.Duration) *Pump {
+	if tick <= 0 {
+		tick = 2 * time.Millisecond
+	}
+	p := &Pump{eng: eng, started: time.Now(), stop: make(chan struct{})}
+	p.done.Add(1)
+	go func() {
+		defer p.done.Done()
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ticker.C:
+				p.mu.Lock()
+				_ = p.eng.Run(time.Since(p.started))
+				p.mu.Unlock()
+			}
+		}
+	}()
+	return p
+}
+
+// Do runs fn with exclusive access to the pumped engine's components,
+// advancing virtual time to wall time first.
+func (p *Pump) Do(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.eng.Run(time.Since(p.started))
+	fn()
+}
+
+// Close stops the pump.
+func (p *Pump) Close() {
+	close(p.stop)
+	p.done.Wait()
+}
+
+// ControllerEnd accepts OpenFlow switch connections for a controller. The
+// first message on each connection must be a HELLO whose XID carries the
+// datapath id (a simple session-binding convention for this bridge).
+type ControllerEnd struct {
+	ln   net.Listener
+	pump *Pump
+	// handle feeds a southbound message into the controller; send
+	// transmits a message back to the connected switch.
+	handle func(dpid topo.DPID, msg openflow.Message, send func(openflow.Message))
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  sync.WaitGroup
+	stop  chan struct{}
+}
+
+// ListenController starts accepting switch connections on addr.
+func ListenController(
+	addr string,
+	pump *Pump,
+	handle func(dpid topo.DPID, msg openflow.Message, send func(openflow.Message)),
+) (*ControllerEnd, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ofconn: listen: %w", err)
+	}
+	ce := &ControllerEnd{
+		ln:     ln,
+		pump:   pump,
+		handle: handle,
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+	ce.done.Add(1)
+	go ce.acceptLoop()
+	return ce, nil
+}
+
+// Addr returns the listen address.
+func (ce *ControllerEnd) Addr() string { return ce.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (ce *ControllerEnd) Close() error {
+	close(ce.stop)
+	err := ce.ln.Close()
+	ce.mu.Lock()
+	for conn := range ce.conns {
+		_ = conn.Close()
+	}
+	ce.mu.Unlock()
+	ce.done.Wait()
+	return err
+}
+
+func (ce *ControllerEnd) acceptLoop() {
+	defer ce.done.Done()
+	for {
+		conn, err := ce.ln.Accept()
+		if err != nil {
+			select {
+			case <-ce.stop:
+				return
+			default:
+				continue
+			}
+		}
+		ce.mu.Lock()
+		ce.conns[conn] = struct{}{}
+		ce.mu.Unlock()
+		ce.done.Add(1)
+		go ce.serve(conn)
+	}
+}
+
+func (ce *ControllerEnd) serve(conn net.Conn) {
+	defer ce.done.Done()
+	defer func() {
+		ce.mu.Lock()
+		delete(ce.conns, conn)
+		ce.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var (
+		writeMu sync.Mutex
+		dpid    topo.DPID
+		bound   bool
+	)
+	send := func(msg openflow.Message) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = openflow.WriteMessage(conn, msg)
+	}
+	for {
+		msg, err := openflow.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		if !bound {
+			hello, ok := msg.(*openflow.Hello)
+			if !ok {
+				return // protocol violation: first message must bind
+			}
+			dpid = topo.DPID(hello.XID)
+			bound = true
+			send(&openflow.Hello{XID: hello.XID})
+			continue
+		}
+		ce.pump.Do(func() { ce.handle(dpid, msg, send) })
+	}
+}
+
+// SwitchEnd connects a switch to a remote controller over TCP.
+type SwitchEnd struct {
+	conn net.Conn
+	pump *Pump
+	// OnMessage receives controller-to-switch messages (run under the
+	// pump's lock).
+	OnMessage func(openflow.Message)
+
+	writeMu sync.Mutex
+	done    sync.WaitGroup
+}
+
+// DialSwitch connects to a controller end and binds the session to dpid.
+func DialSwitch(addr string, dpid topo.DPID, pump *Pump, onMessage func(openflow.Message)) (*SwitchEnd, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ofconn: dial: %w", err)
+	}
+	se := &SwitchEnd{conn: conn, pump: pump, OnMessage: onMessage}
+	// Bind: HELLO with the dpid as XID.
+	if err := openflow.WriteMessage(conn, &openflow.Hello{XID: uint32(dpid)}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ofconn: bind: %w", err)
+	}
+	if _, err := openflow.ReadMessage(conn); err != nil { // HELLO reply
+		_ = conn.Close()
+		return nil, fmt.Errorf("ofconn: handshake: %w", err)
+	}
+	se.done.Add(1)
+	go se.readLoop()
+	return se, nil
+}
+
+// Send transmits a switch-to-controller message.
+func (se *SwitchEnd) Send(msg openflow.Message) error {
+	se.writeMu.Lock()
+	defer se.writeMu.Unlock()
+	return openflow.WriteMessage(se.conn, msg)
+}
+
+// Close closes the connection and waits for the reader.
+func (se *SwitchEnd) Close() error {
+	err := se.conn.Close()
+	se.done.Wait()
+	return err
+}
+
+func (se *SwitchEnd) readLoop() {
+	defer se.done.Done()
+	for {
+		msg, err := openflow.ReadMessage(se.conn)
+		if err != nil {
+			return
+		}
+		se.pump.Do(func() {
+			if se.OnMessage != nil {
+				se.OnMessage(msg)
+			}
+		})
+	}
+}

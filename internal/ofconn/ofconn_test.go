@@ -1,0 +1,186 @@
+package ofconn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/dataplane"
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}
+
+// TestLiveSwitchControllerBridge runs a real controller and a real switch
+// in separate event domains connected by a real TCP socket: the switch's
+// PACKET_IN crosses the wire, the controller's FLOW_MOD and PACKET_OUT
+// come back, and the rule lands in the switch's table.
+func TestLiveSwitchControllerBridge(t *testing.T) {
+	// Controller domain.
+	ctrlEng := simnet.NewEngine(1)
+	ctrlPump := NewPump(ctrlEng, time.Millisecond)
+	defer ctrlPump.Close()
+	sc := store.NewCluster(ctrlEng, store.DefaultConfig(store.Eventual))
+	members := cluster.NewMembership(cluster.SingleController, []store.NodeID{1}, []topo.DPID{1})
+	profile := controller.ONOSProfile()
+	profile.PausePeriod = 0
+	profile.LLDPPeriod = 0
+	var ctrl *controller.Controller
+	ctrlPump.Do(func() {
+		ctrl = controller.New(ctrlEng, 1, profile, sc.AddNode(1), members)
+	})
+
+	ce, err := ListenController("127.0.0.1:0", ctrlPump,
+		func(dpid topo.DPID, msg openflow.Message, send func(openflow.Message)) {
+			if _, ok := ctrl.Membership().Master(dpid); !ok {
+				return
+			}
+			ctrl.HandleSouthbound(dpid, msg, nil)
+			_ = send // downlink wired below via ConnectSwitch
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+
+	// Switch domain.
+	swEng := simnet.NewEngine(2)
+	swPump := NewPump(swEng, time.Millisecond)
+	defer swPump.Close()
+	var (
+		mu  sync.Mutex
+		sw  *dataplane.Switch
+		se  *SwitchEnd
+		got []openflow.Message
+	)
+	swPump.Do(func() {
+		sw = dataplane.NewSwitch(swEng, 1)
+		sw.SetPorts([]uint16{1, 2})
+	})
+	se, err = DialSwitch(ce.Addr(), 1, swPump, func(msg openflow.Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+		sw.HandleControllerMessage(msg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	swPump.Do(func() {
+		sw.SetSendUp(func(msg openflow.Message) { _ = se.Send(msg) })
+	})
+
+	// Wire the controller's downlink through the live connection: the
+	// ControllerEnd send closure isn't reachable here, so register the
+	// downlink explicitly via ConnectSwitch using the session.
+	ctrlPump.Do(func() {
+		ctrl.ConnectSwitch(1, func(msg openflow.Message) {
+			// Runs inside the controller pump: write without blocking it.
+			m := msg
+			go func() { _ = writeToSwitch(ce, m) }()
+		})
+	})
+	_ = got
+
+	// The handshake completes over the wire: the controller learns the
+	// switch (SwitchDB) from the FEATURES_REPLY that crossed TCP.
+	waitFor(t, func() bool {
+		okCh := false
+		ctrlPump.Do(func() {
+			_, okCh = ctrl.Node().Get(store.SwitchDB, topo.DPID(1).String())
+		})
+		return okCh
+	})
+
+	// Teach the controller a host binding, then inject a packet at the
+	// switch: PACKET_IN over TCP → reactive forwarding → FLOW_MOD +
+	// PACKET_OUT over TCP → rule installed in the real switch table.
+	h2 := topo.HostMAC(2)
+	rec := `{"mac":"` + h2.String() + `","ip":"10.0.0.2","dpid":1,"port":2}`
+	ctrlPump.Do(func() {
+		ctrl.Node().Write(store.EdgesDB, store.OpCreate, h2.String(), rec, nil)
+	})
+	frame := openflow.TCPPacket(topo.HostMAC(1), h2, topo.HostIP(1), topo.HostIP(2), 1000, 80, 0x02, 0)
+	swPump.Do(func() { sw.Inject(frame, 1) })
+
+	waitFor(t, func() bool {
+		n := 0
+		swPump.Do(func() { n = len(sw.Table()) })
+		return n == 1
+	})
+	var entry *dataplane.FlowEntry
+	swPump.Do(func() { entry = sw.Table()[0] })
+	if entry.Actions[0].Port != 2 {
+		t.Fatalf("installed rule forwards to %d, want 2", entry.Actions[0].Port)
+	}
+}
+
+// writeToSwitch sends a controller→switch message to the single bound
+// session of the ControllerEnd (test helper: one switch connected).
+func writeToSwitch(ce *ControllerEnd, msg openflow.Message) error {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	for conn := range ce.conns {
+		return openflow.WriteMessage(conn, msg)
+	}
+	return nil
+}
+
+func TestControllerEndRejectsUnboundTraffic(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	pump := NewPump(eng, time.Millisecond)
+	defer pump.Close()
+	handled := 0
+	ce, err := ListenController("127.0.0.1:0", pump,
+		func(topo.DPID, openflow.Message, func(openflow.Message)) { handled++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+	// A client that skips the HELLO binding gets dropped.
+	se, err := DialSwitch(ce.Addr(), 42, pump, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	// Proper binding works: a PACKET_IN reaches the handler.
+	if err := se.Send(&openflow.PacketIn{InPort: 1, Data: openflow.TCPPacket(topo.HostMAC(1), topo.HostMAC(2), topo.HostIP(1), topo.HostIP(2), 1, 2, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		n := 0
+		pump.Do(func() { n = handled })
+		return n == 1
+	})
+}
+
+func TestPumpAdvancesVirtualTime(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	pump := NewPump(eng, time.Millisecond)
+	defer pump.Close()
+	fired := false
+	pump.Do(func() {
+		eng.Schedule(5*time.Millisecond, func() { fired = true })
+	})
+	waitFor(t, func() bool {
+		ok := false
+		pump.Do(func() { ok = fired })
+		return ok
+	})
+}

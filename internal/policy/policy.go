@@ -1,0 +1,453 @@
+// Package policy implements JURY's light-weight policy framework (§V):
+// administrators express fine-grained constraints on controller actions in
+// the four-directive language of Table 2 (controller, trigger, cache,
+// destination), serialized in the XML form of Fig. 3. The validator
+// evaluates every primary response against the policy set after consensus.
+package policy
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+// Destination classifies where a side-effect lands relative to the acting
+// controller: a switch it governs (local), a switch governed by another
+// controller (remote), or anywhere.
+type Destination uint8
+
+// Destinations.
+const (
+	DestAny Destination = iota
+	DestLocal
+	DestRemote
+)
+
+// String names the destination as used in policy files.
+func (d Destination) String() string {
+	switch d {
+	case DestLocal:
+		return "local"
+	case DestRemote:
+		return "remote"
+	default:
+		return "*"
+	}
+}
+
+// ParseDestination parses a policy-file destination value.
+func ParseDestination(s string) (Destination, error) {
+	switch strings.ToLower(s) {
+	case "", "*", "any":
+		return DestAny, nil
+	case "local":
+		return DestLocal, nil
+	case "remote":
+		return DestRemote, nil
+	default:
+		return DestAny, fmt.Errorf("policy: unknown destination %q", s)
+	}
+}
+
+// Policy is one administrator constraint. A policy with Allow=false raises
+// an alarm when an action matches it; Allow=true whitelists matching
+// actions (evaluated in order, first match wins).
+type Policy struct {
+	// Name labels the policy in alarms.
+	Name string
+	// Allow: false = raise alarm on match (the Fig. 3 example), true =
+	// explicitly permit.
+	Allow bool
+	// Controller is a controller id ("3") or "*".
+	Controller string
+	// Trigger is "internal", "external" or "*".
+	Trigger string
+	// Cache is a cache name or "*".
+	Cache string
+	// Operation is "create", "update", "delete" or "*".
+	Operation string
+	// Entry is a "key,value" glob ('*' matches any run of characters).
+	Entry string
+	// Destination is "local", "remote" or "*".
+	Destination string
+	// RequireMatchHierarchy, for FlowsDB entries, additionally matches
+	// only rules whose OpenFlow match violates the 1.0 field-prerequisite
+	// hierarchy — the policy the paper uses against the "ODL incorrect
+	// FLOW_MOD" T3 fault (§VII-A1(4)).
+	RequireMatchHierarchy bool
+}
+
+// Input is one controller action presented for policy evaluation.
+type Input struct {
+	Kind        trigger.Kind
+	Controller  store.NodeID
+	Cache       store.CacheName
+	Op          store.Op
+	Key         string
+	Value       string
+	Destination Destination
+}
+
+// compiled is a pre-processed policy.
+type compiled struct {
+	p         Policy
+	ctrl      store.NodeID // 0 = any
+	anyCtrl   bool
+	kind      trigger.Kind // 0 = any
+	cache     store.CacheName
+	anyCache  bool
+	op        store.Op // 0 = any
+	keyGlob   glob
+	valueGlob glob
+	dest      Destination
+	hierarchy bool
+}
+
+// Engine evaluates a policy set. Policies are checked in order; the first
+// matching policy decides (deny → violation). The scan is linear, matching
+// the validation-cost scaling the paper reports (§VII-B2(3)); see
+// NewIndexed for the indexed ablation.
+type Engine struct {
+	policies []compiled
+	indexed  bool
+	byCache  map[store.CacheName][]int
+	anyCache []int
+}
+
+// New compiles a policy set.
+func New(policies []Policy) (*Engine, error) {
+	e := &Engine{}
+	for i, p := range policies {
+		c, err := compile(p)
+		if err != nil {
+			return nil, fmt.Errorf("policy %d (%s): %w", i, p.Name, err)
+		}
+		e.policies = append(e.policies, c)
+	}
+	return e, nil
+}
+
+// NewIndexed compiles a policy set with a cache-name index, trading the
+// paper's linear scan for O(matching) lookup (ablation bench).
+func NewIndexed(policies []Policy) (*Engine, error) {
+	e, err := New(policies)
+	if err != nil {
+		return nil, err
+	}
+	e.indexed = true
+	e.byCache = make(map[store.CacheName][]int)
+	for i, c := range e.policies {
+		if c.anyCache {
+			e.anyCache = append(e.anyCache, i)
+		} else {
+			e.byCache[c.cache] = append(e.byCache[c.cache], i)
+		}
+	}
+	return e, nil
+}
+
+// Len returns the number of policies.
+func (e *Engine) Len() int { return len(e.policies) }
+
+// Check evaluates an action. It returns the name of the violated policy
+// and true when a deny policy matches.
+func (e *Engine) Check(in Input) (string, bool) {
+	if e.indexed {
+		return e.checkIndexed(in)
+	}
+	for i := range e.policies {
+		c := &e.policies[i]
+		if !c.matches(in) {
+			continue
+		}
+		if c.p.Allow {
+			return "", false
+		}
+		return c.name(i), true
+	}
+	return "", false
+}
+
+func (e *Engine) checkIndexed(in Input) (string, bool) {
+	best := -1
+	for _, i := range e.byCache[in.Cache] {
+		if e.policies[i].matches(in) {
+			best = i
+			break
+		}
+	}
+	for _, i := range e.anyCache {
+		if best >= 0 && i >= best {
+			break
+		}
+		if e.policies[i].matches(in) {
+			best = i
+			break
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	if e.policies[best].p.Allow {
+		return "", false
+	}
+	return e.policies[best].name(best), true
+}
+
+func (c *compiled) name(i int) string {
+	if c.p.Name != "" {
+		return c.p.Name
+	}
+	return "policy#" + strconv.Itoa(i)
+}
+
+func (c *compiled) matches(in Input) bool {
+	if !c.anyCtrl && c.ctrl != in.Controller {
+		return false
+	}
+	if c.kind != 0 && c.kind != in.Kind {
+		return false
+	}
+	if !c.anyCache && c.cache != in.Cache {
+		return false
+	}
+	if c.op != 0 && c.op != in.Op {
+		return false
+	}
+	if c.dest != DestAny && in.Destination != DestAny && c.dest != in.Destination {
+		return false
+	}
+	if !c.keyGlob.match(in.Key) || !c.valueGlob.match(in.Value) {
+		return false
+	}
+	if c.hierarchy {
+		if in.Cache != store.FlowsDB {
+			return false
+		}
+		rule, err := controller.DecodeFlowRule(in.Value)
+		if err != nil {
+			return false
+		}
+		if rule.Match.HierarchyValid() {
+			return false
+		}
+	}
+	return true
+}
+
+func compile(p Policy) (compiled, error) {
+	c := compiled{p: p}
+	switch p.Controller {
+	case "", "*":
+		c.anyCtrl = true
+	default:
+		id, err := strconv.Atoi(p.Controller)
+		if err != nil {
+			return c, fmt.Errorf("bad controller id %q", p.Controller)
+		}
+		c.ctrl = store.NodeID(id)
+	}
+	switch strings.ToLower(p.Trigger) {
+	case "", "*":
+	case "internal":
+		c.kind = trigger.Internal
+	case "external":
+		c.kind = trigger.External
+	default:
+		return c, fmt.Errorf("bad trigger %q", p.Trigger)
+	}
+	switch p.Cache {
+	case "", "*":
+		c.anyCache = true
+	default:
+		c.cache = store.CacheName(p.Cache)
+	}
+	switch strings.ToLower(p.Operation) {
+	case "", "*":
+	default:
+		op, err := store.ParseOp(strings.ToLower(p.Operation))
+		if err != nil {
+			return c, err
+		}
+		c.op = op
+	}
+	keyPat, valPat := "*", "*"
+	if p.Entry != "" {
+		parts := strings.SplitN(p.Entry, ",", 2)
+		keyPat = parts[0]
+		if len(parts) == 2 {
+			valPat = parts[1]
+		}
+	}
+	c.keyGlob = compileGlob(keyPat)
+	c.valueGlob = compileGlob(valPat)
+	dest, err := ParseDestination(p.Destination)
+	if err != nil {
+		return c, err
+	}
+	c.dest = dest
+	c.hierarchy = p.RequireMatchHierarchy
+	return c, nil
+}
+
+// glob is a compiled '*' wildcard pattern.
+type glob struct {
+	any      bool
+	literals []string
+	prefix   bool // pattern started with a literal (anchored at start)
+	suffix   bool // pattern ended with a literal (anchored at end)
+}
+
+func compileGlob(pattern string) glob {
+	if pattern == "" || pattern == "*" {
+		return glob{any: true}
+	}
+	parts := strings.Split(pattern, "*")
+	g := glob{
+		prefix: parts[0] != "",
+		suffix: parts[len(parts)-1] != "",
+	}
+	for _, p := range parts {
+		if p != "" {
+			g.literals = append(g.literals, p)
+		}
+	}
+	if len(g.literals) == 0 {
+		g.any = true
+	}
+	return g
+}
+
+func (g glob) match(s string) bool {
+	if g.any {
+		return true
+	}
+	lits := g.literals
+	if g.prefix {
+		if !strings.HasPrefix(s, lits[0]) {
+			return false
+		}
+		s = s[len(lits[0]):]
+		lits = lits[1:]
+	}
+	var tail string
+	if g.suffix {
+		if len(lits) == 0 {
+			// The whole pattern was one anchored literal ("exact"):
+			// nothing may remain after the prefix strip.
+			return s == ""
+		}
+		tail = lits[len(lits)-1]
+		lits = lits[:len(lits)-1]
+	}
+	for _, l := range lits {
+		idx := strings.Index(s, l)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(l):]
+	}
+	if tail != "" {
+		return strings.HasSuffix(s, tail)
+	}
+	return true
+}
+
+// XML serialization (Fig. 3 format).
+
+type xmlPolicies struct {
+	XMLName  xml.Name    `xml:"Policies"`
+	Policies []xmlPolicy `xml:"Policy"`
+}
+
+type xmlPolicy struct {
+	Allow       string         `xml:"allow,attr"`
+	Name        string         `xml:"name,attr,omitempty"`
+	Controller  xmlController  `xml:"Controller"`
+	Action      xmlAction      `xml:"Action"`
+	Cache       xmlCache       `xml:"Cache"`
+	Destination xmlDestination `xml:"Destination"`
+}
+
+type xmlController struct {
+	ID string `xml:"id,attr"`
+}
+
+type xmlAction struct {
+	Type string `xml:"type,attr"`
+}
+
+type xmlCache struct {
+	Name           string `xml:"name,attr"`
+	Entry          string `xml:"entry,attr"`
+	Operation      string `xml:"operation,attr"`
+	MatchHierarchy string `xml:"matchHierarchy,attr,omitempty"`
+}
+
+type xmlDestination struct {
+	Value string `xml:"value,attr"`
+}
+
+// ParseXML reads a policy set in the Fig. 3 XML format. A single <Policy>
+// document (without a <Policies> wrapper) is also accepted.
+func ParseXML(data []byte) ([]Policy, error) {
+	var doc xmlPolicies
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		var single xmlPolicy
+		if err2 := xml.Unmarshal(data, &single); err2 != nil {
+			return nil, fmt.Errorf("policy: parse XML: %w", err)
+		}
+		doc.Policies = []xmlPolicy{single}
+	}
+	out := make([]Policy, 0, len(doc.Policies))
+	for _, xp := range doc.Policies {
+		out = append(out, Policy{
+			Name:                  xp.Name,
+			Allow:                 strings.EqualFold(xp.Allow, "yes"),
+			Controller:            xp.Controller.ID,
+			Trigger:               strings.ToLower(xp.Action.Type),
+			Cache:                 xp.Cache.Name,
+			Operation:             strings.ToLower(xp.Cache.Operation),
+			Entry:                 xp.Cache.Entry,
+			Destination:           strings.ToLower(xp.Destination.Value),
+			RequireMatchHierarchy: strings.EqualFold(xp.Cache.MatchHierarchy, "required"),
+		})
+	}
+	return out, nil
+}
+
+// MarshalXML renders a policy set in the Fig. 3 XML format.
+func MarshalXML(policies []Policy) ([]byte, error) {
+	doc := xmlPolicies{}
+	for _, p := range policies {
+		allow := "No"
+		if p.Allow {
+			allow = "Yes"
+		}
+		hier := ""
+		if p.RequireMatchHierarchy {
+			hier = "required"
+		}
+		doc.Policies = append(doc.Policies, xmlPolicy{
+			Allow:       allow,
+			Name:        p.Name,
+			Controller:  xmlController{ID: orStar(p.Controller)},
+			Action:      xmlAction{Type: orStar(p.Trigger)},
+			Cache:       xmlCache{Name: orStar(p.Cache), Entry: orStar(p.Entry), Operation: orStar(p.Operation), MatchHierarchy: hier},
+			Destination: xmlDestination{Value: orStar(p.Destination)},
+		})
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+func orStar(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return s
+}

@@ -1,0 +1,304 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/faults"
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+func mustEngine(t *testing.T, policies []Policy) *Engine {
+	t.Helper()
+	e, err := New(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDenyInternalTopologyWrites(t *testing.T) {
+	// The Fig. 3 example policy: alarm on any proactive EdgesDB change.
+	e := mustEngine(t, []Policy{{
+		Name:    "fig3",
+		Trigger: "internal",
+		Cache:   "EdgesDB",
+	}})
+	if name, bad := e.Check(Input{
+		Kind:  trigger.Internal,
+		Cache: store.EdgesDB,
+		Op:    store.OpUpdate,
+		Key:   "k",
+	}); !bad || name != "fig3" {
+		t.Fatalf("internal EdgesDB write not denied: %q %v", name, bad)
+	}
+	if _, bad := e.Check(Input{Kind: trigger.External, Cache: store.EdgesDB, Op: store.OpUpdate}); bad {
+		t.Fatal("external trigger wrongly denied")
+	}
+	if _, bad := e.Check(Input{Kind: trigger.Internal, Cache: store.FlowsDB}); bad {
+		t.Fatal("other cache wrongly denied")
+	}
+}
+
+func TestControllerScoping(t *testing.T) {
+	e := mustEngine(t, []Policy{{Name: "c3-only", Controller: "3"}})
+	if _, bad := e.Check(Input{Controller: 3}); !bad {
+		t.Fatal("C3 action not matched")
+	}
+	if _, bad := e.Check(Input{Controller: 4}); bad {
+		t.Fatal("C4 action wrongly matched")
+	}
+}
+
+func TestOperationScoping(t *testing.T) {
+	e := mustEngine(t, []Policy{{Name: "no-deletes", Operation: "delete"}})
+	if _, bad := e.Check(Input{Op: store.OpDelete}); !bad {
+		t.Fatal("delete not matched")
+	}
+	if _, bad := e.Check(Input{Op: store.OpCreate}); bad {
+		t.Fatal("create wrongly matched")
+	}
+}
+
+func TestDestinationScoping(t *testing.T) {
+	e := mustEngine(t, []Policy{{Name: "no-remote", Destination: "remote"}})
+	if _, bad := e.Check(Input{Destination: DestRemote}); !bad {
+		t.Fatal("remote not matched")
+	}
+	if _, bad := e.Check(Input{Destination: DestLocal}); bad {
+		t.Fatal("local wrongly matched")
+	}
+	// Unknown destination matches any policy destination.
+	if _, bad := e.Check(Input{Destination: DestAny}); !bad {
+		t.Fatal("unknown destination should conservatively match")
+	}
+}
+
+func TestEntryGlobs(t *testing.T) {
+	e := mustEngine(t, []Policy{{Name: "glob", Entry: "10.0.*,*down*"}})
+	if _, bad := e.Check(Input{Key: "10.0.0.1", Value: "link down now"}); !bad {
+		t.Fatal("glob should match")
+	}
+	if _, bad := e.Check(Input{Key: "192.168.0.1", Value: "down"}); bad {
+		t.Fatal("key glob should not match")
+	}
+	if _, bad := e.Check(Input{Key: "10.0.0.1", Value: "up"}); bad {
+		t.Fatal("value glob should not match")
+	}
+}
+
+func TestAllowPolicyShortCircuits(t *testing.T) {
+	e := mustEngine(t, []Policy{
+		{Name: "allow-admin", Allow: true, Controller: "1", Cache: "LinksDB"},
+		{Name: "deny-links", Cache: "LinksDB"},
+	})
+	if _, bad := e.Check(Input{Controller: 1, Cache: store.LinksDB}); bad {
+		t.Fatal("allow policy should win for C1")
+	}
+	if name, bad := e.Check(Input{Controller: 2, Cache: store.LinksDB}); !bad || name != "deny-links" {
+		t.Fatal("deny policy should match C2")
+	}
+}
+
+func TestMatchHierarchyPolicy(t *testing.T) {
+	e := mustEngine(t, []Policy{{
+		Name:                  "match-hierarchy",
+		Cache:                 "FlowsDB",
+		RequireMatchHierarchy: true,
+	}})
+	bad := faults.InvalidHierarchyRule(3)
+	if _, violated := e.Check(Input{Cache: store.FlowsDB, Value: bad.Encode()}); !violated {
+		t.Fatal("invalid-hierarchy rule not flagged")
+	}
+	good := controller.FlowRule{DPID: 3, Match: openflow.MatchAll(), Priority: 1}
+	if _, violated := e.Check(Input{Cache: store.FlowsDB, Value: good.Encode()}); violated {
+		t.Fatal("valid rule wrongly flagged")
+	}
+	// Non-FlowsDB entries never match a hierarchy policy.
+	if _, violated := e.Check(Input{Cache: store.HostDB, Value: "junk"}); violated {
+		t.Fatal("non-flow cache flagged")
+	}
+}
+
+func TestUnnamedPolicyGetsIndexName(t *testing.T) {
+	e := mustEngine(t, []Policy{{Cache: "LinksDB"}})
+	name, bad := e.Check(Input{Cache: store.LinksDB})
+	if !bad || name != "policy#0" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []Policy{
+		{Controller: "not-a-number"},
+		{Trigger: "sideways"},
+		{Operation: "truncate"},
+		{Destination: "elsewhere"},
+	}
+	for i, p := range cases {
+		if _, err := New([]Policy{p}); err == nil {
+			t.Fatalf("case %d compiled", i)
+		}
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	e := mustEngine(t, []Policy{
+		{Name: "first", Cache: "LinksDB"},
+		{Name: "second", Cache: "LinksDB"},
+	})
+	name, _ := e.Check(Input{Cache: store.LinksDB})
+	if name != "first" {
+		t.Fatalf("got %q", name)
+	}
+}
+
+func TestIndexedEngineAgreesWithLinear(t *testing.T) {
+	var policies []Policy
+	for i := 0; i < 100; i++ {
+		policies = append(policies, Policy{
+			Name:       fmt.Sprintf("p%d", i),
+			Cache:      []string{"LinksDB", "FlowsDB", "HostDB", "*"}[i%4],
+			Operation:  []string{"create", "update", "delete", "*"}[i%4],
+			Controller: []string{"1", "2", "*", "*"}[i%4],
+		})
+	}
+	lin := mustEngine(t, policies)
+	idx, err := NewIndexed(policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caches := []store.CacheName{store.LinksDB, store.FlowsDB, store.HostDB, store.ArpDB}
+	ops := []store.Op{store.OpCreate, store.OpUpdate, store.OpDelete}
+	for ci := range caches {
+		for oi := range ops {
+			for ctrl := 1; ctrl <= 3; ctrl++ {
+				in := Input{Cache: caches[ci], Op: ops[oi], Controller: store.NodeID(ctrl)}
+				n1, b1 := lin.Check(in)
+				n2, b2 := idx.Check(in)
+				if n1 != n2 || b1 != b2 {
+					t.Fatalf("divergence on %+v: linear=(%q,%v) indexed=(%q,%v)", in, n1, b1, n2, b2)
+				}
+			}
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	in := []Policy{
+		{Name: "a", Allow: false, Controller: "*", Trigger: "internal", Cache: "EdgesDB", Entry: "*,*", Operation: "*", Destination: "*"},
+		{Name: "b", Allow: true, Controller: "3", Trigger: "external", Cache: "FlowsDB", Entry: "k,*", Operation: "create", Destination: "remote", RequireMatchHierarchy: true},
+	}
+	data, err := MarshalXML(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d policies", len(out))
+	}
+	if out[0].Allow || !out[1].Allow {
+		t.Fatal("allow flags wrong")
+	}
+	if out[1].Controller != "3" || out[1].Cache != "FlowsDB" || !out[1].RequireMatchHierarchy {
+		t.Fatalf("policy b mangled: %+v", out[1])
+	}
+	if _, err := New(out); err != nil {
+		t.Fatalf("round-tripped policies failed to compile: %v", err)
+	}
+}
+
+func TestParseXMLFig3Form(t *testing.T) {
+	// The paper's Fig. 3 policy, as a single document.
+	doc := `<Policy allow="No">
+  <Controller id="*"/>
+  <Action type="Internal"/>
+  <Cache name="EdgesDB" entry="*,*" operation="*"/>
+  <Destination value="*"/>
+</Policy>`
+	ps, err := ParseXML([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 {
+		t.Fatalf("policies = %d", len(ps))
+	}
+	p := ps[0]
+	if p.Allow || p.Cache != "EdgesDB" || p.Trigger != "internal" {
+		t.Fatalf("parsed = %+v", p)
+	}
+	e := mustEngine(t, ps)
+	if _, bad := e.Check(Input{Kind: trigger.Internal, Cache: store.EdgesDB, Op: store.OpUpdate}); !bad {
+		t.Fatal("Fig. 3 policy did not fire")
+	}
+}
+
+func TestParseXMLGarbage(t *testing.T) {
+	if _, err := ParseXML([]byte("{json?}")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGlobEdgeCases(t *testing.T) {
+	tests := []struct {
+		pattern string
+		input   string
+		want    bool
+	}{
+		{"*", "anything", true},
+		{"", "anything", true},
+		{"exact", "exact", true},
+		{"exact", "exactly", false},
+		{"pre*", "prefix", true},
+		{"pre*", "nope", false},
+		{"*fix", "suffix", true},
+		{"*fix", "fixes", false},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "acb", false},
+		{"**", "anything", true},
+	}
+	for _, tt := range tests {
+		g := compileGlob(tt.pattern)
+		if got := g.match(tt.input); got != tt.want {
+			t.Errorf("glob(%q).match(%q) = %v, want %v", tt.pattern, tt.input, got, tt.want)
+		}
+	}
+}
+
+func TestDestinationParse(t *testing.T) {
+	for _, s := range []string{"", "*", "any", "local", "remote", "LOCAL"} {
+		if _, err := ParseDestination(s); err != nil {
+			t.Fatalf("ParseDestination(%q): %v", s, err)
+		}
+	}
+	if DestLocal.String() != "local" || DestRemote.String() != "remote" || DestAny.String() != "*" {
+		t.Fatal("destination strings wrong")
+	}
+}
+
+func TestLenAndEmptyEngine(t *testing.T) {
+	e := mustEngine(t, nil)
+	if e.Len() != 0 {
+		t.Fatal("len wrong")
+	}
+	if _, bad := e.Check(Input{Cache: store.LinksDB}); bad {
+		t.Fatal("empty engine denied something")
+	}
+}
+
+func TestMarshalXMLIsReadable(t *testing.T) {
+	data, err := MarshalXML([]Policy{{Name: "x", Cache: "LinksDB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `<Cache name="LinksDB"`) {
+		t.Fatalf("unexpected XML:\n%s", data)
+	}
+}

@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"time"
+)
+
+// Link models a reliable, in-order, point-to-point channel (a TCP
+// connection in the modeled deployment). Messages experience a propagation
+// latency plus a serialization delay proportional to their size, and are
+// delivered strictly in send order. Byte counters support the network
+// overhead accounting of §VII-B2.
+type Link struct {
+	eng *Engine
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth in bytes per second; zero means infinite.
+	Bandwidth float64
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+
+	deliver func(msg any, size int)
+
+	// busyUntil tracks when the sender side finishes serializing the
+	// previous message, enforcing FIFO ordering and bandwidth limits.
+	busyUntil time.Duration
+	// lastArrival enforces in-order delivery even with jitter.
+	lastArrival time.Duration
+
+	bytesSent int64
+	msgsSent  int64
+	down      bool
+}
+
+// NewLink creates a link delivering messages to deliver. The callback runs
+// as an engine event at the arrival time.
+func NewLink(eng *Engine, latency time.Duration, bandwidth float64, deliver func(msg any, size int)) *Link {
+	return &Link{eng: eng, Latency: latency, Bandwidth: bandwidth, deliver: deliver}
+}
+
+// Send enqueues msg of the given size in bytes. Sends on a down link are
+// silently dropped (the peer observes an omission, as with a failed TCP
+// connection before the application notices).
+func (l *Link) Send(msg any, size int) {
+	if l.down {
+		return
+	}
+	now := l.eng.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	var ser time.Duration
+	if l.Bandwidth > 0 && size > 0 {
+		ser = time.Duration(float64(size) / l.Bandwidth * float64(time.Second))
+	}
+	l.busyUntil = start + ser
+	arrival := l.busyUntil + l.Latency
+	if l.Jitter > 0 {
+		arrival += time.Duration(l.eng.Rand().Int63n(int64(l.Jitter)))
+	}
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival
+	}
+	l.lastArrival = arrival
+	l.bytesSent += int64(size)
+	l.msgsSent++
+	l.eng.At(arrival, func() {
+		if !l.down {
+			l.deliver(msg, size)
+		}
+	})
+}
+
+// SetDown marks the link as failed (true) or restored (false). Messages in
+// flight when the link goes down are dropped at delivery time.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is failed.
+func (l *Link) Down() bool { return l.down }
+
+// BytesSent returns the number of bytes accepted for transmission.
+func (l *Link) BytesSent() int64 { return l.bytesSent }
+
+// MessagesSent returns the number of messages accepted for transmission.
+func (l *Link) MessagesSent() int64 { return l.msgsSent }
+
+// Queue models a bounded FIFO ingress queue in front of a server (e.g. a
+// controller's socket buffer). When the queue is full, Offer reports false,
+// modeling TCP zero-window back-pressure.
+type Queue struct {
+	items []any
+	cap   int
+	drops int64
+}
+
+// NewQueue returns a queue with the given capacity; capacity <= 0 means
+// unbounded.
+func NewQueue(capacity int) *Queue {
+	return &Queue{cap: capacity}
+}
+
+// Offer appends item, reporting false (and counting a drop) when full.
+func (q *Queue) Offer(item any) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		q.drops++
+		return false
+	}
+	q.items = append(q.items, item)
+	return true
+}
+
+// Poll removes and returns the head, or (nil, false) when empty.
+func (q *Queue) Poll() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Drops returns the number of rejected offers.
+func (q *Queue) Drops() int64 { return q.drops }

@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"time"
+)
+
+// Server models a work-conserving service station with a fixed number of
+// parallel workers, a bounded ingress queue, and a per-job service time
+// supplied by the caller. It is the queueing core of the controller
+// pipeline model: the ONOS profile is a fast Server, the ODL profile a slow
+// one, and Fig. 4e's collapse emerges from the bounded queue plus
+// backlog-dependent service inflation.
+type Server struct {
+	eng     *Engine
+	workers int
+	busy    int
+	queue   *Queue
+
+	// InflateAt is the backlog size beyond which service times inflate
+	// linearly (modeling memory bloat / GC pressure in an overwhelmed
+	// JVM controller, §VII-B1). Zero disables inflation.
+	InflateAt int
+	// InflateSlope is the added service-time fraction per queued job
+	// beyond InflateAt (e.g. 0.01 adds 1% per excess job).
+	InflateSlope float64
+
+	completed int64
+}
+
+type serverJob struct {
+	service func() time.Duration
+	done    func()
+}
+
+// NewServer creates a server with the given parallelism and ingress queue
+// capacity (<=0 for unbounded).
+func NewServer(eng *Engine, workers, queueCap int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Server{eng: eng, workers: workers, queue: NewQueue(queueCap)}
+}
+
+// Submit offers a job with the given base service time; done runs when the
+// job completes. Submit reports false if the ingress queue rejected the job.
+func (s *Server) Submit(service time.Duration, done func()) bool {
+	return s.SubmitFunc(func() time.Duration { return service }, done)
+}
+
+// SubmitFunc offers a job whose service time is evaluated when the job
+// starts (not when it is queued), so state-dependent costs like GC-pause
+// stalls apply at execution time.
+func (s *Server) SubmitFunc(service func() time.Duration, done func()) bool {
+	job := &serverJob{service: service, done: done}
+	if s.busy < s.workers {
+		s.start(job)
+		return true
+	}
+	return s.queue.Offer(job)
+}
+
+// Backlog returns the number of jobs waiting (not in service).
+func (s *Server) Backlog() int { return s.queue.Len() }
+
+// Busy returns the number of jobs in service.
+func (s *Server) Busy() int { return s.busy }
+
+// Completed returns the number of jobs finished.
+func (s *Server) Completed() int64 { return s.completed }
+
+// Drops returns the number of jobs rejected by the ingress queue.
+func (s *Server) Drops() int64 { return s.queue.Drops() }
+
+// Saturated reports whether all workers are busy and the queue is nonempty.
+func (s *Server) Saturated() bool { return s.busy == s.workers && s.queue.Len() > 0 }
+
+func (s *Server) start(job *serverJob) {
+	s.busy++
+	service := job.service()
+	if s.InflateAt > 0 && s.queue.Len() > s.InflateAt {
+		excess := float64(s.queue.Len() - s.InflateAt)
+		service += time.Duration(float64(service) * s.InflateSlope * excess)
+	}
+	s.eng.Schedule(service, func() {
+		s.busy--
+		s.completed++
+		if job.done != nil {
+			job.done()
+		}
+		if next, ok := s.queue.Poll(); ok {
+			if nj, ok := next.(*serverJob); ok {
+				s.start(nj)
+			}
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package trigger
+
+import (
+	"strconv"
+
+	"github.com/jurysdn/jury/internal/store"
+)
+
+// Context is the trigger metadata JURY threads through the controller
+// pipeline. The original trigger delivered to the primary carries
+// Replica=false; copies replicated to secondary controllers carry
+// Replica=true — that flag is the taint of §IV-A(1): responses elicited
+// under a Replica context must never externalize side-effects.
+type Context struct {
+	ID      ID
+	Kind    Kind
+	Primary store.NodeID
+	Replica bool
+}
+
+// Tainted reports whether the context marks replicated (secondary)
+// execution.
+func (c *Context) Tainted() bool { return c != nil && c.Replica }
+
+// ReplicaOf derives the tainted context for a secondary from the primary's
+// context.
+func (c Context) ReplicaOf() *Context {
+	cp := c
+	cp.Replica = true
+	return &cp
+}
+
+// IDAllocator mints unique trigger IDs.
+type IDAllocator struct {
+	prefix string
+	next   uint64
+}
+
+// NewIDAllocator creates an allocator whose IDs carry the given prefix.
+func NewIDAllocator(prefix string) *IDAllocator {
+	return &IDAllocator{prefix: prefix}
+}
+
+// Next returns a fresh trigger ID.
+func (a *IDAllocator) Next() ID {
+	a.next++
+	return ID(a.prefix + "-" + strconv.FormatUint(a.next, 10))
+}

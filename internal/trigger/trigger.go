@@ -1,0 +1,51 @@
+// Package trigger defines the trigger taxonomy of the paper (§II-A2): the
+// identifiers and taints JURY attaches to triggers so that responses can be
+// attributed to the trigger and controller that produced them (§IV-B).
+package trigger
+
+import (
+	"fmt"
+
+	"github.com/jurysdn/jury/internal/store"
+)
+
+// ID uniquely identifies a trigger (τ in Algorithm 1).
+type ID string
+
+// Kind classifies a trigger from the controller's perspective.
+type Kind uint8
+
+// Trigger kinds.
+const (
+	// External triggers arrive on the southbound (PACKET_IN) or
+	// northbound (REST) interfaces.
+	External Kind = iota + 1
+	// Internal triggers originate within the controller: administrator
+	// logins and truly proactive applications.
+	Internal
+)
+
+// String names the kind as used in policy files.
+func (k Kind) String() string {
+	switch k {
+	case External:
+		return "external"
+	case Internal:
+		return "internal"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Taint marks a replicated trigger: it identifies the trigger and the
+// primary controller that received the original. JURY propagates the taint
+// through the processing pipeline and onto every elicited response
+// (§IV-A(1)).
+type Taint struct {
+	Trigger ID
+	// Primary is the controller that received the original trigger.
+	Primary store.NodeID
+}
+
+// String renders the taint.
+func (t Taint) String() string { return fmt.Sprintf("taint(%s@C%d)", t.Trigger, t.Primary) }

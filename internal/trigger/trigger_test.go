@@ -1,0 +1,52 @@
+package trigger
+
+import "testing"
+
+func TestIDAllocatorUnique(t *testing.T) {
+	a := NewIDAllocator("of:1")
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := a.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextTaint(t *testing.T) {
+	var nilCtx *Context
+	if nilCtx.Tainted() {
+		t.Fatal("nil context tainted")
+	}
+	ctx := Context{ID: "τ", Kind: External, Primary: 3}
+	if ctx.Tainted() {
+		t.Fatal("original context tainted")
+	}
+	replica := ctx.ReplicaOf()
+	if !replica.Tainted() {
+		t.Fatal("replica not tainted")
+	}
+	if replica.ID != ctx.ID || replica.Primary != ctx.Primary {
+		t.Fatal("replica lost identity")
+	}
+	if ctx.Replica {
+		t.Fatal("ReplicaOf mutated the original")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if External.String() != "external" || Internal.String() != "internal" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestTaintString(t *testing.T) {
+	taint := Taint{Trigger: "of:1-5", Primary: 2}
+	if taint.String() != "taint(of:1-5@C2)" {
+		t.Fatalf("got %s", taint.String())
+	}
+}

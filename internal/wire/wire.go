@@ -1,0 +1,303 @@
+// Package wire runs JURY's out-of-band validator as a real network
+// service: controller modules stream responses as JSON lines over TCP, and
+// the validator pushes alarms back to every connected client. This is the
+// deployment shape of Fig. 2 — the validator on a separate host reachable
+// over an out-of-band network — whereas the simulation embeds the
+// validator in-process.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+// MsgType discriminates protocol envelopes.
+type MsgType string
+
+// Protocol message types.
+const (
+	// TypeResponse carries one controller response toward the validator.
+	TypeResponse MsgType = "response"
+	// TypeResult carries one validation result back to clients.
+	TypeResult MsgType = "result"
+	// TypeStats carries aggregate counters on request.
+	TypeStats MsgType = "stats"
+)
+
+// Envelope is one JSON line on the wire.
+type Envelope struct {
+	Type     MsgType        `json:"type"`
+	Response *core.Response `json:"response,omitempty"`
+	Result   *core.Result   `json:"result,omitempty"`
+	Stats    *Stats         `json:"stats,omitempty"`
+}
+
+// Stats summarizes the validator state.
+type Stats struct {
+	Decided  int64 `json:"decided"`
+	Valid    int64 `json:"valid"`
+	Faults   int64 `json:"faults"`
+	Timeouts int64 `json:"timeouts"`
+	Pending  int   `json:"pending"`
+}
+
+// ServerConfig parameterizes a validator service.
+type ServerConfig struct {
+	// Validator carries K, timeout, adaptive settings.
+	Validator core.ValidatorConfig
+	// Members lists the controller IDs of the deployment; mastership is
+	// not tracked over the wire, so sanity checks fall back to "any
+	// alive controller" semantics.
+	Members []store.NodeID
+	// Switches lists known datapaths for the membership map.
+	Switches []topo.DPID
+	// AlarmsOnly pushes only fault results to clients (default: all
+	// results are pushed).
+	AlarmsOnly bool
+	// Tick is the wall-clock granularity at which validator timers fire
+	// (default 5ms).
+	Tick time.Duration
+}
+
+// Server hosts a validator behind a TCP listener.
+type Server struct {
+	ln  net.Listener
+	cfg ServerConfig
+
+	mu        sync.Mutex
+	eng       *simnet.Engine
+	validator *core.Validator
+	started   time.Time
+	conns     map[net.Conn]*json.Encoder
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// Serve starts a validator service on addr ("127.0.0.1:0" for an ephemeral
+// port). The returned server owns background goroutines; call Close.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("wire: no cluster members configured")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	eng := simnet.NewEngine(0)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster, cfg.Members, cfg.Switches)
+	s := &Server{
+		ln:        ln,
+		cfg:       cfg,
+		eng:       eng,
+		validator: core.NewValidator(eng, members, cfg.Validator),
+		started:   time.Now(),
+		conns:     make(map[net.Conn]*json.Encoder),
+		stop:      make(chan struct{}),
+	}
+	s.validator.OnResult = s.broadcast
+	s.done.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the validator counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Decided:  s.validator.Decided(),
+		Valid:    s.validator.Valid(),
+		Faults:   s.validator.Faults(),
+		Timeouts: s.validator.Timeouts(),
+		Pending:  s.validator.Pending(),
+	}
+}
+
+// Alarms returns the validator's retained alarms.
+func (s *Server) Alarms() []core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validator.Alarms()
+}
+
+// Close stops the service and waits for its goroutines.
+func (s *Server) Close() error {
+	close(s.stop)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.done.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.done.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = json.NewEncoder(conn)
+		s.mu.Unlock()
+		s.done.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// tickLoop advances the validator's virtual clock with wall time so
+// per-trigger timers expire.
+func (s *Server) tickLoop() {
+	defer s.done.Done()
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			_ = s.eng.Run(time.Since(s.started))
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.done.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+			continue // tolerate malformed lines from misbehaving peers
+		}
+		switch env.Type {
+		case TypeResponse:
+			if env.Response == nil {
+				continue
+			}
+			s.mu.Lock()
+			_ = s.eng.Run(time.Since(s.started))
+			s.validator.Submit(*env.Response)
+			s.mu.Unlock()
+		case TypeStats:
+			st := s.Stats()
+			s.mu.Lock()
+			if enc, ok := s.conns[conn]; ok {
+				_ = enc.Encode(Envelope{Type: TypeStats, Stats: &st})
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// broadcast pushes a result to every connected client. Runs with s.mu held
+// (validator decisions happen inside Submit/tick).
+func (s *Server) broadcast(r core.Result) {
+	if s.cfg.AlarmsOnly && r.Verdict != core.VerdictFault {
+		return
+	}
+	env := Envelope{Type: TypeResult, Result: &r}
+	for conn, enc := range s.conns {
+		if err := enc.Encode(env); err != nil {
+			_ = conn.Close()
+		}
+	}
+}
+
+// Client streams responses to a validator service and receives results.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	// OnResult observes pushed validation results (set before Run).
+	OnResult func(core.Result)
+	// OnStats observes stats replies.
+	OnStats func(Stats)
+
+	done sync.WaitGroup
+}
+
+// Dial connects to a validator service.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	c := &Client{conn: conn, enc: json.NewEncoder(conn)}
+	c.done.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Send streams one response to the validator.
+func (c *Client) Send(r core.Response) error {
+	return c.enc.Encode(Envelope{Type: TypeResponse, Response: &r})
+}
+
+// RequestStats asks the server for a stats snapshot (delivered to OnStats).
+func (c *Client) RequestStats() error {
+	return c.enc.Encode(Envelope{Type: TypeStats})
+}
+
+// Close closes the connection and waits for the reader.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.done.Wait()
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer c.done.Done()
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+			continue
+		}
+		switch env.Type {
+		case TypeResult:
+			if env.Result != nil && c.OnResult != nil {
+				c.OnResult(*env.Result)
+			}
+		case TypeStats:
+			if env.Stats != nil && c.OnStats != nil {
+				c.OnStats(*env.Stats)
+			}
+		}
+	}
+}
