@@ -1,0 +1,80 @@
+// Command jurylint runs the determinism & concurrency lint suite over the
+// module containing the working directory. It is stdlib-only and fully
+// offline: packages are parsed with go/parser and type-checked with
+// go/types, resolving the standard library through the source importer.
+//
+// Usage:
+//
+//	jurylint [./...|import-path-suffix...]
+//
+// With no arguments (or `./...`) every package in the module is checked.
+// Any other argument restricts output to packages whose import path ends
+// with it. Exit status: 0 clean, 1 diagnostics reported, 2 load failure.
+//
+// Rules: wallclock, eventloop, guardedby, errcrit — see DESIGN.md
+// "Determinism contract & lint rules". Suppress a deliberate violation
+// with `//jurylint:allow <rule> -- justification`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/jurysdn/jury/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurylint:", err)
+		return 2
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurylint:", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jurylint:", err)
+		return 2
+	}
+	pkgs = filterPackages(pkgs, args)
+	diags := analysis.RunAnalyzers(pkgs, analysis.DefaultSuite(modPath))
+	if len(diags) == 0 {
+		return 0
+	}
+	fmt.Print(analysis.Format(root, diags))
+	fmt.Fprintf(os.Stderr, "jurylint: %d violation(s)\n", len(diags))
+	return 1
+}
+
+// filterPackages applies command-line patterns: `./...` (or nothing)
+// keeps everything, anything else matches import-path suffixes.
+func filterPackages(pkgs []*analysis.Package, args []string) []*analysis.Package {
+	var patterns []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "." {
+			return pkgs
+		}
+		patterns = append(patterns, strings.TrimSuffix(strings.TrimPrefix(a, "./"), "/..."))
+	}
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			if p.Path == pat || strings.HasSuffix(p.Path, "/"+pat) || strings.Contains(p.Path, "/"+pat+"/") {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}

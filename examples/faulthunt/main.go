@@ -34,6 +34,14 @@ func main() {
 	}
 }
 
+// must aborts the hunt on scenario-setup errors: a failed REST install
+// means the scenario never exercised the fault it was built for.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func scenarios() []scenario {
 	return []scenario{
 		{
@@ -121,11 +129,11 @@ func scenarios() []scenario {
 					DPID: dpid, Priority: 99,
 					Command: uint16(0), // add
 				}
-				_ = sim.System.InstallFlowREST(target.ID(), dpid, rule)
+				must(sim.System.InstallFlowREST(target.ID(), dpid, rule))
 				del := rule
 				del.Command = 3 // delete
 				sim.Engine.Schedule(500*time.Millisecond, func() {
-					_ = sim.System.InstallFlowREST(target.ID(), dpid, del)
+					must(sim.System.InstallFlowREST(target.ID(), dpid, del))
 				})
 				return f
 			},
@@ -138,7 +146,7 @@ func scenarios() []scenario {
 				f := faults.InjectFlowInstantiationFailure(target)
 				dpid := target.Governed()[0]
 				rule := controller.FlowRule{DPID: dpid, Priority: 77}
-				_ = sim.System.InstallFlowREST(target.ID(), dpid, rule)
+				must(sim.System.InstallFlowREST(target.ID(), dpid, rule))
 				return f
 			},
 			wants: []core.FaultClass{core.FaultMissingNetwork},

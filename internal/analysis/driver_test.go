@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.txt from current output")
+
+// TestDriverGolden runs the full default suite over the seeded mini
+// module and compares the formatted driver output against the golden
+// file, pinning both the diagnostics and their file:line rendering.
+func TestDriverGolden(t *testing.T) {
+	root, err := filepath.Abs(fixtureDir("golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load golden module: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, DefaultSuite("example.com/golden"))
+	got := Format(root, diags)
+
+	goldenPath := filepath.Join("testdata", "golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run `go test -run Golden -update ./internal/analysis` to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("driver output mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRepoIsLintClean asserts the real module passes its own suite: the
+// tier-1 verify gate (`go run ./cmd/jurylint ./...`) must exit 0.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loader found only %d packages; module discovery is broken", len(pkgs))
+	}
+	diags := RunAnalyzers(pkgs, DefaultSuite(modPath))
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}

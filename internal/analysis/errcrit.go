@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NewErrCrit returns the analyzer that flags discarded error returns
+// from critical APIs — engine runs, REST installs, validator wire paths —
+// where a swallowed error silently invalidates an experiment. critical
+// lists fully qualified function names as produced by
+// (*types.Func).FullName, e.g.
+//
+//	(*github.com/jurysdn/jury/internal/simnet.Engine).Run
+//	github.com/jurysdn/jury/internal/openflow.WriteMessage
+//
+// Both bare call statements and blank-identifier assignments (`_ = f()`)
+// count as discards; deliberate best-effort call sites carry a
+// //jurylint:allow errcrit annotation with a justification.
+func NewErrCrit(critical []string) *Analyzer {
+	set := make(map[string]bool, len(critical))
+	for _, name := range critical {
+		set[name] = true
+	}
+	return &Analyzer{
+		Name: "errcrit",
+		Doc:  "flags discarded error returns from critical engine/store/validator APIs",
+		Run:  func(pass *Pass) { runErrCrit(pass, set) },
+	}
+}
+
+func runErrCrit(pass *Pass, critical map[string]bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, critical, call)
+				}
+			case *ast.AssignStmt:
+				// `_ = f()` or `a, _ := f()` with the error position blank.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || len(n.Lhs) == 0 {
+					return true
+				}
+				if isBlank(n.Lhs[len(n.Lhs)-1]) {
+					checkDiscard(pass, critical, call)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func checkDiscard(pass *Pass, critical map[string]bool, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || !critical[fn.FullName()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s is discarded; handle it or annotate the deliberate discard", fn.FullName())
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+func TestErrCritFixture(t *testing.T) {
+	runFixture(t, fixtureDir("errcrit", "errfix"), "errfix",
+		NewErrCrit([]string{
+			"(*errfix.Engine).Run",
+			"errfix.Commit",
+			"errfix.Pair",
+		}))
+}

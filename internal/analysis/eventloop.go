@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewEventloop returns the analyzer that keeps single-threaded
+// event-handler packages inside the simnet contract: all model code runs
+// as callbacks on one engine goroutine, so spawning goroutines, touching
+// channels, or taking sync locks inside those packages either breaks
+// determinism or hides a design error. Real-time bridge packages
+// (ofconn, wire) are intentionally outside this list.
+func NewEventloop(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "eventloop",
+		Doc:      "forbids goroutines, channel operations and sync locking in single-threaded event-loop packages",
+		Packages: packages,
+		Run:      runEventloop,
+	}
+}
+
+func runEventloop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in single-threaded event-loop package; schedule an engine event instead")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in single-threaded event-loop package")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in single-threaded event-loop package")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in single-threaded event-loop package")
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel in single-threaded event-loop package")
+					}
+				}
+			case *ast.CallExpr:
+				reportEventloopCall(pass, n)
+			case *ast.SelectorExpr:
+				if obj, ok := pass.Info.Uses[n.Sel]; ok && obj.Pkg() != nil {
+					path := obj.Pkg().Path()
+					if path == "sync" || strings.HasPrefix(path, "sync/") {
+						pass.Reportf(n.Pos(), "use of %s.%s in single-threaded event-loop package; the engine serializes all model code",
+							path, obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportEventloopCall(pass *Pass, call *ast.CallExpr) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "make":
+		if len(call.Args) > 0 {
+			if _, ok := call.Args[0].(*ast.ChanType); ok {
+				pass.Reportf(call.Pos(), "channel created in single-threaded event-loop package")
+			}
+		}
+	case "close":
+		if len(call.Args) == 1 {
+			if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(call.Pos(), "channel closed in single-threaded event-loop package")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestEventloopFixture(t *testing.T) {
+	runFixture(t, fixtureDir("eventloop", "loopfix"), "loopfix",
+		NewEventloop([]string{"loopfix"}))
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// NewGuardedBy returns the analyzer that checks mutex discipline in the
+// genuinely concurrent packages (the ofconn/wire real-time bridges).
+// Struct fields annotated with a `// guarded by <mu>` comment may only be
+// accessed inside functions that lock that mutex. The heuristic is
+// deliberately conservative and method-scoped: the enclosing function (or
+// a function literal within it) must contain a <mu>.Lock or <mu>.RLock
+// call; lock ordering and caller-held locks are not tracked, so functions
+// documented to run with the lock held carry a //jurylint:allow guardedby
+// annotation. Composite-literal construction does not count as an access:
+// the object is not shared yet.
+func NewGuardedBy(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "guardedby",
+		Doc:      "checks that fields annotated `// guarded by <mu>` are accessed under that mutex",
+		Packages: packages,
+		Run:      runGuardedBy,
+	}
+}
+
+func runGuardedBy(pass *Pass) {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := lockedMutexes(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				fieldVar, ok := selection.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, ok := guarded[fieldVar]
+				if !ok || locked[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"field %q (guarded by %s) accessed in %s without %s.Lock",
+					fieldVar.Name(), mu, fd.Name.Name, mu)
+				return true
+			})
+		}
+	}
+}
+
+// collectGuardedFields maps each annotated struct field object to the
+// name of its guarding mutex.
+func collectGuardedFields(pass *Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes returns the set of mutex names on which body contains a
+// Lock or RLock call (on any receiver chain ending in that name).
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	locked := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestGuardedByFixture(t *testing.T) {
+	runFixture(t, fixtureDir("guardedby", "guardfix"), "guardfix",
+		NewGuardedBy(nil))
+}

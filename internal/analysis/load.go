@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root. Test files are skipped: the contract applies to
+// model and bridge code, and tests legitimately use wall time, goroutines
+// and ad-hoc randomness. Imports inside the module resolve to the freshly
+// checked packages; everything else resolves through the standard
+// library's offline source importer.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*parsedPkg
+	byPath := make(map[string]*parsedPkg)
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := &parsedPkg{path: path, dir: dir, files: files}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					p.imports = append(p.imports, ip)
+				}
+			}
+		}
+		pkgs = append(pkgs, p)
+		byPath[path] = p
+	}
+
+	order, err := topoSort(pkgs, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		mod: make(map[string]*types.Package),
+		std: importer.ForCompiler(fset, "source", nil),
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	var out []*Package
+	for _, p := range order {
+		info := newInfo()
+		tpkg, err := conf.Check(p.path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", p.path, err)
+		}
+		imp.mod[p.path] = tpkg
+		out = append(out, &Package{
+			Path:  p.path,
+			Dir:   p.dir,
+			Fset:  fset,
+			Files: p.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory as a standalone
+// package under the given import path. Used by fixture tests.
+func LoadDir(dir, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer:    importer.ForCompiler(fset, "source", nil),
+		FakeImportC: true,
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// packageDirs lists directories under root that hold non-test Go files,
+// skipping vendor, testdata and hidden/underscore directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "vendor" || name == "testdata" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// parsedPkg is a package that has been parsed but not yet type-checked.
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// topoSort orders packages so every module-internal import is checked
+// before its importers.
+func topoSort(pkgs []*parsedPkg, byPath map[string]*parsedPkg) ([]*parsedPkg, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int)
+	var order []*parsedPkg
+	var visit func(p *parsedPkg) error
+	visit = func(p *parsedPkg) error {
+		switch state[p.path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p.path)
+		}
+		state[p.path] = visiting
+		for _, ip := range p.imports {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.path] = done
+		order = append(order, p)
+		return nil
+	}
+	// Deterministic traversal order.
+	sorted := append([]*parsedPkg(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].path < sorted[j].path })
+	for _, p := range sorted {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from already checked
+// packages and defers everything else to the offline source importer.
+type moduleImporter struct {
+	mod map[string]*types.Package
+	std types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mod[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}

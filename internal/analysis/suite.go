@@ -1,0 +1,49 @@
+package analysis
+
+// SimPackages are the simulation-driven packages: everything in them runs
+// as event handlers on the single simnet engine goroutine, so the full
+// contract applies — no wall clock, no global RNG, no goroutines,
+// channels or locks. metrics and openflow are pure computation consumed
+// by event handlers and are held to the same contract.
+var SimPackages = []string{
+	"simnet", "core", "controller", "dataplane", "store", "cluster",
+	"faults", "workload", "trigger", "topo", "policy", "experiment",
+	"metrics", "openflow",
+}
+
+// BridgePackages carry event-driven components across real TCP and
+// threads. They are allowed concurrency (checked by guardedby instead of
+// eventloop), but wall-clock reads must stay confined to annotated
+// real-time boundary code.
+var BridgePackages = []string{"ofconn", "wire"}
+
+// CriticalAPIs returns the FullName list of error-returning calls whose
+// results must not be silently discarded, for a module rooted at
+// modulePath: engine runs (a swallowed horizon error invalidates every
+// measurement after it), REST flow installs, and the validator wire path.
+func CriticalAPIs(modulePath string) []string {
+	return []string{
+		"(*" + modulePath + "/internal/simnet.Engine).Run",
+		"(*" + modulePath + "/internal/simnet.Engine).RunUntilIdle",
+		"(*" + modulePath + ".Simulation).Run",
+		"(*" + modulePath + ".Simulation).InstallFlowREST",
+		"(*" + modulePath + "/internal/core.System).InstallFlowREST",
+		"(*" + modulePath + "/internal/wire.Client).Send",
+		modulePath + "/internal/openflow.WriteMessage",
+	}
+}
+
+// DefaultSuite is the analyzer configuration enforced by cmd/jurylint and
+// the tier-1 verify gate for the module rooted at modulePath. The root
+// facade package (modulePath itself) is simulation-driven too: it wires
+// and runs everything on the engine, so it joins the sim lists.
+func DefaultSuite(modulePath string) []*Analyzer {
+	sim := append(append([]string{}, SimPackages...), modulePath)
+	wallclockPkgs := append(append([]string{}, sim...), BridgePackages...)
+	return []*Analyzer{
+		NewWallclock(wallclockPkgs),
+		NewEventloop(sim),
+		NewGuardedBy(nil), // acts only where `// guarded by` annotations exist
+		NewErrCrit(CriticalAPIs(modulePath)),
+	}
+}

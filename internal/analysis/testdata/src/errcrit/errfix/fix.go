@@ -1,0 +1,54 @@
+// Package errfix seeds errcrit violations: critical error returns
+// discarded as bare statements and blank assignments, next to properly
+// handled and deliberately annotated call sites.
+package errfix
+
+import "errors"
+
+// Engine mimics the simnet engine's error-returning run API.
+type Engine struct{}
+
+// Run pretends to advance the engine.
+func (e *Engine) Run() error { return errors.New("boom") }
+
+// Commit pretends to commit a store write.
+func Commit() error { return nil }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 0, nil }
+
+// Harmless returns an error but is not on the critical list.
+func Harmless() error { return nil }
+
+func discardStmt(e *Engine) {
+	e.Run() // want errcrit "discarded"
+}
+
+func discardBlank(e *Engine) {
+	_ = e.Run() // want errcrit "discarded"
+}
+
+func discardPair() {
+	n, _ := Pair() // want errcrit "discarded"
+	_ = n
+}
+
+func discardCommit() {
+	Commit() // want errcrit "discarded"
+}
+
+func handled(e *Engine) error {
+	if err := e.Run(); err != nil {
+		return err
+	}
+	return Commit()
+}
+
+func notCritical() {
+	Harmless()
+	_ = Harmless()
+}
+
+func deliberate(e *Engine) {
+	_ = e.Run() //jurylint:allow errcrit -- fixture: deliberate best-effort run
+}

@@ -1,0 +1,43 @@
+// Package loopfix seeds eventloop violations: goroutines, channel
+// operations and sync locking inside what is declared to be
+// single-threaded event-handler code.
+package loopfix
+
+import "sync"
+
+var mu sync.Mutex // want eventloop "sync.Mutex"
+
+// Spawn escapes the event loop.
+func Spawn() {
+	go func() {}() // want eventloop "goroutine"
+}
+
+// Chans runs the full channel lifecycle.
+func Chans() {
+	ch := make(chan int, 1) // want eventloop "channel created"
+	ch <- 1                 // want eventloop "channel send"
+	<-ch                    // want eventloop "channel receive"
+	close(ch)               // want eventloop "channel closed"
+	select {}               // want eventloop "select statement"
+}
+
+// Drain ranges over a channel.
+func Drain(ch chan int) {
+	for range ch { // want eventloop "range over channel"
+	}
+}
+
+// Locks takes a sync lock.
+func Locks() {
+	mu.Lock() // want eventloop "sync.Lock"
+}
+
+// ok is legal: plain slices, maps and function calls stay inside the
+// event-loop contract.
+func ok() {
+	xs := make([]int, 0, 4)
+	xs = append(xs, 1)
+	m := map[string]int{"a": 1}
+	_ = m["a"]
+	_ = len(xs)
+}

@@ -1,0 +1,15 @@
+// Package experiment drives the miniature engine and discards a
+// critical error for the driver golden test.
+package experiment
+
+import (
+	"time"
+
+	"example.com/golden/internal/simnet"
+)
+
+// Sweep runs one engine and ignores the horizon error.
+func Sweep() {
+	var e simnet.Engine
+	e.Run(time.Second)
+}

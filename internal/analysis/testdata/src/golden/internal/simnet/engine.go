@@ -1,0 +1,27 @@
+// Package simnet is a miniature stand-in for the real engine, seeded
+// with deliberate contract violations for the driver golden test.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Engine is a tiny deterministic-engine facade.
+type Engine struct {
+	now time.Duration
+}
+
+// Run advances the engine to the horizon.
+func (e *Engine) Run(horizon time.Duration) error {
+	e.now = horizon
+	return nil
+}
+
+// Jitter is deliberately wrong three ways: it spawns a goroutine, reads
+// the wall clock, and draws from the global RNG.
+func (e *Engine) Jitter() time.Duration {
+	go func() {}()
+	_ = time.Now()
+	return time.Duration(rand.Intn(10))
+}

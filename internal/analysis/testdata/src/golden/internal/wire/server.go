@@ -1,0 +1,21 @@
+// Package wire mimics the concurrent bridge layer with one mutex
+// discipline violation for the driver golden test.
+package wire
+
+import "sync"
+
+// Hub fans results out to subscribers.
+type Hub struct {
+	mu   sync.Mutex
+	subs []string // guarded by mu
+}
+
+// Add registers a subscriber under the lock.
+func (h *Hub) Add(s string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(h.subs, s)
+}
+
+// Len is deliberately wrong: it reads subs without the lock.
+func (h *Hub) Len() int { return len(h.subs) }

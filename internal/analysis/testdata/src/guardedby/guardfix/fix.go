@@ -1,0 +1,51 @@
+// Package guardfix seeds guardedby violations: a field annotated
+// `// guarded by mu` accessed with and without the lock.
+package guardfix
+
+import "sync"
+
+// Box is a shared structure with one guarded and one free field.
+type Box struct {
+	mu    sync.Mutex
+	count int // guarded by mu
+	name  string
+}
+
+// Good locks before touching count.
+func (b *Box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// GoodDeferred touches count inside a function literal while the
+// enclosing function locks: the heuristic is function-scoped.
+func (b *Box) GoodDeferred() {
+	b.mu.Lock()
+	defer func() {
+		b.count++
+		b.mu.Unlock()
+	}()
+}
+
+// Bad reads count without the lock.
+func (b *Box) Bad() int {
+	return b.count // want guardedby "guarded by mu"
+}
+
+// BadWrite writes count without the lock.
+func (b *Box) BadWrite() {
+	b.count = 7 // want guardedby "guarded by mu"
+}
+
+// Name touches only the unguarded field.
+func (b *Box) Name() string { return b.name }
+
+// Held runs with b.mu already held by the caller.
+//
+//jurylint:allow guardedby -- fixture: caller holds b.mu
+func (b *Box) Held() int { return b.count }
+
+// New constructs a Box; composite-literal initialization is not an
+// access because the value is not shared yet.
+func New() *Box { return &Box{count: 1, name: "box"} }

@@ -1,0 +1,47 @@
+// Package simfix seeds wallclock violations: every forbidden wall-clock
+// read and global-RNG call, next to the legal forms that must stay quiet.
+package simfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clocky exercises the forbidden time functions.
+func Clocky() {
+	_ = time.Now()                      // want wallclock "time.Now"
+	_ = time.Since(time.Time{})         // want wallclock "time.Since"
+	time.Sleep(time.Millisecond)        // want wallclock "time.Sleep"
+	_ = time.After(time.Second)         // want wallclock "time.After"
+	_ = time.NewTicker(time.Second)     // want wallclock "time.NewTicker"
+	_ = time.NewTimer(time.Second)      // want wallclock "time.NewTimer"
+	_ = time.AfterFunc(time.Second, ok) // want wallclock "time.AfterFunc"
+}
+
+// Randy exercises the global RNG.
+func Randy() {
+	_ = rand.Intn(4)     // want wallclock "global RNG"
+	_ = rand.Float64()   // want wallclock "global RNG"
+	rand.Shuffle(0, nil) // want wallclock "global RNG"
+}
+
+// ok is legal: duration arithmetic and explicitly seeded sources never
+// touch the host clock or shared RNG state.
+func ok() {
+	d := 5 * time.Millisecond
+	_ = d + time.Second
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(4)
+}
+
+// Boundary reads wall time under a doc-scope suppression.
+//
+//jurylint:allow wallclock -- fixture: documented real-time boundary
+func Boundary() time.Time {
+	return time.Now()
+}
+
+// BoundaryLine reads wall time under a line-scope suppression.
+func BoundaryLine() time.Time {
+	return time.Now() //jurylint:allow wallclock -- fixture: line suppression
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// depend on the host clock. time.Duration arithmetic and constants stay
+// legal: only reading wall time breaks determinism.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that merely
+// construct explicitly seeded sources; everything else at package level
+// goes through the shared global RNG and is forbidden. Methods on
+// *rand.Rand are always fine — simulation code gets its RNG from
+// simnet.Engine.Rand.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// NewWallclock returns the analyzer that forbids wall-clock reads
+// (time.Now, time.Since, time.Sleep, timers, tickers) and global
+// math/rand use in the given packages. Simulation-driven code must take
+// time from the engine's virtual clock and randomness from the engine's
+// seeded RNG, otherwise detection-time distributions stop being
+// reproducible.
+func NewWallclock(packages []string) *Analyzer {
+	return &Analyzer{
+		Name:     "wallclock",
+		Doc:      "forbids wall-clock and global-RNG use in simulation-driven packages",
+		Packages: packages,
+		Run:      runWallclock,
+	}
+}
+
+func runWallclock(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods (e.g. on a
+			// *rand.Rand obtained from the engine) are legal.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch path := fn.Pkg().Path(); {
+			case path == "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"call to time.%s reads the wall clock; use the engine's virtual clock (simnet.Engine.Now/Schedule)",
+						fn.Name())
+				}
+			case path == "math/rand" || strings.HasPrefix(path, "math/rand/"):
+				if !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"call to %s.%s uses the global RNG; use the engine's seeded source (simnet.Engine.Rand)",
+						path, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

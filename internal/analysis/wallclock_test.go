@@ -1,0 +1,21 @@
+package analysis
+
+import "testing"
+
+func TestWallclockFixture(t *testing.T) {
+	runFixture(t, fixtureDir("wallclock", "simfix"), "simfix",
+		NewWallclock([]string{"simfix"}))
+}
+
+// TestWallclockScope checks the analyzer stays silent on packages outside
+// its configured list even when they read the wall clock.
+func TestWallclockScope(t *testing.T) {
+	pkg, err := LoadDir(fixtureDir("wallclock", "simfix"), "simfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{NewWallclock([]string{"othername"})})
+	if len(diags) != 0 {
+		t.Fatalf("analyzer scoped to other packages reported %d diagnostics: %v", len(diags), diags)
+	}
+}

@@ -184,3 +184,47 @@ func TestPumpAdvancesVirtualTime(t *testing.T) {
 		return ok
 	})
 }
+
+// TestPumpWithInjectedClock drives the bridge off a fake clock: virtual
+// time advances exactly as far as the injected clock says, independent of
+// the host clock.
+func TestPumpWithInjectedClock(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		fake = time.Unix(1000, 0)
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return fake
+	}
+	eng := simnet.NewEngine(1)
+	pump := NewPumpWithClock(eng, time.Millisecond, clock)
+	defer pump.Close()
+
+	fired := false
+	pump.Do(func() {
+		eng.Schedule(time.Hour, func() { fired = true })
+	})
+	pump.Do(func() {
+		if fired {
+			t.Fatal("event fired before the injected clock advanced")
+		}
+		if now := eng.Now(); now != 0 {
+			t.Fatalf("virtual time moved to %v with a frozen clock", now)
+		}
+	})
+
+	mu.Lock()
+	fake = fake.Add(2 * time.Hour)
+	mu.Unlock()
+	pump.Do(func() {})
+	pump.Do(func() {
+		if !fired {
+			t.Fatal("event did not fire after the injected clock advanced past it")
+		}
+		if now := eng.Now(); now != 2*time.Hour {
+			t.Fatalf("virtual time = %v, want 2h", now)
+		}
+	})
+}

@@ -224,3 +224,50 @@ func TestServeRejectsEmptyMembership(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestServerWithInjectedClock freezes the service clock: a pending
+// trigger must not time out on wall time, then must time out as soon as
+// the injected clock jumps past the validation timeout.
+func TestServerWithInjectedClock(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		fake = time.Unix(5000, 0)
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return fake
+	}
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		Validator: core.ValidatorConfig{K: 2, Timeout: 50 * time.Millisecond},
+		Members:   []store.NodeID{1, 2, 3},
+		Switches:  []topo.DPID{1},
+		Tick:      time.Millisecond,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// One lonely primary response: with a live clock this would time out
+	// after 50ms; with the clock frozen it must stay pending.
+	if err := c.Send(resp(1, "τf", core.CacheUpdate, false, "up")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.Stats().Pending == 1 })
+	time.Sleep(100 * time.Millisecond) // far beyond the 50ms timeout
+	if st := s.Stats(); st.Timeouts != 0 || st.Pending != 1 {
+		t.Fatalf("frozen clock still produced decisions: %+v", st)
+	}
+
+	mu.Lock()
+	fake = fake.Add(time.Second)
+	mu.Unlock()
+	waitFor(t, func() bool { return s.Stats().Timeouts == 1 })
+}
