@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify
+.PHONY: build test race lint verify figures
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The benign-trace sweep in the root package is 10x+ slower under the
-# race detector, so the default 10m per-package test timeout is not
-# enough; it honors -short if a quick pass is all that's needed.
+# The benign-trace sweep runs as parallel per-trace subtests through
+# internal/sweep, so the race job scales with cores instead of running
+# the traces back to back; -parallel bounds the subtest width and the
+# timeout has headroom for single-core runners.
 race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 20m -parallel 4 ./...
 
 lint:
 	$(GO) vet ./...
@@ -25,3 +26,9 @@ verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/jurylint ./...
 	$(GO) test ./...
+
+# figures regenerates every TSV series through the cached sweep: reruns
+# resume from .jurycache, so an interrupted campaign only re-executes
+# the missing points. Delete .jurycache to force a cold regeneration.
+figures:
+	$(GO) run ./cmd/juryfig -all -progress -cache .jurycache > figures.tsv

@@ -8,6 +8,7 @@
 package jury_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -520,6 +521,32 @@ func BenchmarkEngineOverhead(b *testing.B) {
 	eng.Schedule(0, tick)
 	if err := eng.RunUntilIdle(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepThroughputONOS runs a small Fig. 4f-style campaign
+// through the sweep orchestrator at default (GOMAXPROCS) parallelism.
+// Wall time per iteration is what the -parallel knob shrinks on
+// multi-core hosts; results stay bit-identical at any width.
+func BenchmarkSweepThroughputONOS(b *testing.B) {
+	var cfgs []experiment.ThroughputConfig
+	for _, n := range []int{1, 3} {
+		for _, rate := range []float64{1000, 3000} {
+			cfgs = append(cfgs, experiment.ThroughputConfig{
+				Kind: jury.ONOS, N: n, JuryK: -1, Offered: rate, Duration: 2 * time.Second,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.ThroughputBatch(context.Background(), cfgs,
+			experiment.BatchOptions{RootSeed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(cfgs) {
+			b.Fatalf("campaign returned %d of %d points", len(res), len(cfgs))
+		}
 	}
 }
 

@@ -3,16 +3,26 @@
 // tab-separated series ready for plotting. Use -fig to regenerate a single
 // figure, or -all for the complete set (several minutes of simulation).
 //
+// Figure campaigns fan their points across a bounded worker pool
+// (internal/sweep). Each point's seed is derived from -seed and the
+// point's parameters, so output is bit-identical at any -parallel width.
+// With -cache, completed points are stored on disk and reruns resume
+// from where they stopped; delete the directory (or bump
+// experiment.SchemaVersion) to invalidate. -progress reports per-point
+// completion and an ETA on stderr, leaving stdout clean TSV.
+//
 // Usage:
 //
 //	juryfig -fig 4a
-//	juryfig -all > figures.tsv
+//	juryfig -all -progress -cache .jurycache > figures.tsv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -20,6 +30,7 @@ import (
 	"github.com/jurysdn/jury/internal/experiment"
 	"github.com/jurysdn/jury/internal/policy"
 	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/sweep"
 	"github.com/jurysdn/jury/internal/trigger"
 )
 
@@ -29,16 +40,34 @@ func main() {
 	}
 }
 
+// batch carries the sweep configuration shared by every figure campaign.
+var batch experiment.BatchOptions
+
 func run() error {
 	var (
-		fig  = flag.String("fig", "", "figure to regenerate: 4a 4b 4c 4d 4e 4f 4g 4h 4i policy")
-		all  = flag.Bool("all", false, "regenerate every figure")
-		dur  = flag.Duration("duration", 12*time.Second, "virtual duration per run")
-		seed = flag.Int64("seed", 7, "simulation seed")
+		fig      = flag.String("fig", "", "figure to regenerate: 4a 4b 4c 4d 4e 4f 4g 4h 4i policy")
+		all      = flag.Bool("all", false, "regenerate every figure")
+		dur      = flag.Duration("duration", 12*time.Second, "virtual duration per run")
+		seed     = flag.Int64("seed", 7, "root seed; every point's seed derives from it and the point's parameters")
+		parallel = flag.Int("parallel", 0, "concurrent simulations per figure (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-point progress and ETA on stderr")
+		cacheDir = flag.String("cache", "", "cache completed points in this directory and resume from it on rerun")
 	)
 	flag.Parse()
 
-	figures := map[string]func(time.Duration, int64) error{
+	batch = experiment.BatchOptions{RootSeed: *seed, Parallelism: *parallel}
+	if *progress {
+		batch.Progress = printProgress
+	}
+	if *cacheDir != "" {
+		cache, err := sweep.NewCache(*cacheDir, experiment.SchemaVersion)
+		if err != nil {
+			return err
+		}
+		batch.Cache = cache
+	}
+
+	figures := map[string]func(time.Duration) error{
 		"4a":     fig4a,
 		"4b":     fig4b,
 		"4c":     fig4c,
@@ -53,7 +82,7 @@ func run() error {
 	order := []string{"4a", "4b", "4c", "4d", "4e", "4f", "4g", "4h", "4i", "policy"}
 	if *all {
 		for _, name := range order {
-			if err := figures[name](*dur, *seed); err != nil {
+			if err := figures[name](*dur); err != nil {
 				return fmt.Errorf("fig %s: %w", name, err)
 			}
 		}
@@ -63,7 +92,28 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown figure %q (choose from %s)", *fig, strings.Join(order, " "))
 	}
-	return f(*dur, *seed)
+	return f(*dur)
+}
+
+// printProgress renders sweep events on stderr so stdout stays clean TSV.
+func printProgress(ev sweep.Event) {
+	switch ev.Type {
+	case sweep.PointStarted:
+		fmt.Fprintf(os.Stderr, "juryfig: run %s\n", ev.Key)
+	case sweep.PointDone:
+		status := "done"
+		switch {
+		case ev.Err != nil:
+			status = "FAILED"
+		case ev.Cached:
+			status = "cached"
+		}
+		line := fmt.Sprintf("juryfig: [%d/%d] %s %s", ev.Done, ev.Total, status, ev.Key)
+		if ev.ETA > 0 {
+			line += fmt.Sprintf(" (eta %s)", ev.ETA.Round(time.Second))
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 }
 
 func printCDF(label string, res *experiment.DetectionResult) {
@@ -72,141 +122,181 @@ func printCDF(label string, res *experiment.DetectionResult) {
 	}
 }
 
-func fig4a(dur time.Duration, seed int64) error {
+func fig4a(dur time.Duration) error {
 	fmt.Println("# Fig 4a: ONOS detection-time CDFs (series\tms\tfraction)")
+	var cfgs []experiment.DetectionConfig
 	for _, c := range []struct{ k, m int }{{2, 0}, {4, 0}, {6, 0}, {6, 2}} {
-		res, err := experiment.Detection(experiment.DetectionConfig{
+		cfgs = append(cfgs, experiment.DetectionConfig{
 			Kind: jury.ONOS, K: c.k, M: c.m,
 			BaseRate: 1500, PeakRate: 5500,
-			Duration: dur, Seed: seed,
+			Duration: dur,
 		})
-		if err != nil {
-			return err
-		}
-		printCDF(fmt.Sprintf("k=%d,m=%d", c.k, c.m), res)
 	}
-	return nil
-}
-
-func fig4b(dur time.Duration, seed int64) error {
-	fmt.Println("# Fig 4b: ONOS detection-time CDFs by PACKET_IN rate, k=6 m=0")
-	for _, rate := range []float64{500, 3000, 5500} {
-		res, err := experiment.Detection(experiment.DetectionConfig{
-			Kind: jury.ONOS, K: 6,
-			BaseRate: rate, PeakRate: rate,
-			Duration: dur, Seed: seed,
-		})
-		if err != nil {
-			return err
-		}
-		printCDF(fmt.Sprintf("%.0f/s", rate), res)
-	}
-	return nil
-}
-
-func fig4c(dur time.Duration, seed int64) error {
-	fmt.Println("# Fig 4c: ODL detection-time CDFs")
-	for _, c := range []struct{ k, m int }{{2, 0}, {4, 0}, {6, 0}, {6, 2}} {
-		res, err := experiment.Detection(experiment.DetectionConfig{
-			Kind: jury.ODL, K: c.k, M: c.m,
-			BaseRate: 120, PeakRate: 120,
-			Timeout:  5 * time.Second,
-			Duration: dur, Seed: seed,
-		})
-		if err != nil {
-			return err
-		}
-		printCDF(fmt.Sprintf("k=%d,m=%d", c.k, c.m), res)
-	}
-	return nil
-}
-
-func fig4d(dur time.Duration, seed int64) error {
-	fmt.Println("# Fig 4d: ONOS detection times on benign traces, k=6 m=2 (+false-positive rate)")
-	for _, name := range []string{"LBNL", "UNIV", "SMIA"} {
-		res, err := experiment.Detection(experiment.DetectionConfig{
-			Kind: jury.ONOS, K: 6, M: 2,
-			Trace:    name,
-			Timeout:  130 * time.Millisecond,
-			Duration: dur, Seed: seed,
-		})
-		if err != nil {
-			return err
-		}
-		printCDF(name, res)
-		fmt.Printf("# %s: decided=%d false-positive rate=%.3f%%\n", name, res.Decided, res.FPRate*100)
-	}
-	return nil
-}
-
-func fig4e(dur time.Duration, seed int64) error {
-	fmt.Println("# Fig 4e: Cbench bursts overwhelm the controller (second\tpacketin/s\tflowmod/s)")
-	res, err := experiment.Cbench(12000, 20*time.Second, seed)
+	res, err := experiment.DetectionBatch(context.Background(), cfgs, batch)
 	if err != nil {
 		return err
 	}
-	for i := range res.Seconds {
-		fmt.Printf("%d\t%.0f\t%.0f\n", res.Seconds[i], res.PacketIns[i], res.FlowMods[i])
+	for _, r := range res {
+		printCDF(fmt.Sprintf("k=%d,m=%d", r.Point.Params.K, r.Point.Params.M), r.Value)
 	}
 	return nil
 }
 
-func throughputFig(kind jury.ControllerKind, rates []float64, dur time.Duration, seed int64) error {
+func fig4b(dur time.Duration) error {
+	fmt.Println("# Fig 4b: ONOS detection-time CDFs by PACKET_IN rate, k=6 m=0")
+	var cfgs []experiment.DetectionConfig
+	for _, rate := range []float64{500, 3000, 5500} {
+		cfgs = append(cfgs, experiment.DetectionConfig{
+			Kind: jury.ONOS, K: 6,
+			BaseRate: rate, PeakRate: rate,
+			Duration: dur,
+		})
+	}
+	res, err := experiment.DetectionBatch(context.Background(), cfgs, batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		printCDF(fmt.Sprintf("%.0f/s", r.Point.Params.BaseRate), r.Value)
+	}
+	return nil
+}
+
+func fig4c(dur time.Duration) error {
+	fmt.Println("# Fig 4c: ODL detection-time CDFs")
+	var cfgs []experiment.DetectionConfig
+	for _, c := range []struct{ k, m int }{{2, 0}, {4, 0}, {6, 0}, {6, 2}} {
+		cfgs = append(cfgs, experiment.DetectionConfig{
+			Kind: jury.ODL, K: c.k, M: c.m,
+			BaseRate: 120, PeakRate: 120,
+			Timeout:  5 * time.Second,
+			Duration: dur,
+		})
+	}
+	res, err := experiment.DetectionBatch(context.Background(), cfgs, batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		printCDF(fmt.Sprintf("k=%d,m=%d", r.Point.Params.K, r.Point.Params.M), r.Value)
+	}
+	return nil
+}
+
+func fig4d(dur time.Duration) error {
+	fmt.Println("# Fig 4d: ONOS detection times on benign traces, k=6 m=2 (+false-positive rate)")
+	var cfgs []experiment.DetectionConfig
+	for _, name := range []string{"LBNL", "UNIV", "SMIA"} {
+		cfgs = append(cfgs, experiment.DetectionConfig{
+			Kind: jury.ONOS, K: 6, M: 2,
+			Trace:    name,
+			Timeout:  130 * time.Millisecond,
+			Duration: dur,
+		})
+	}
+	res, err := experiment.DetectionBatch(context.Background(), cfgs, batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		printCDF(r.Point.Params.Trace, r.Value)
+		fmt.Printf("# %s: decided=%d false-positive rate=%.3f%%\n",
+			r.Point.Params.Trace, r.Value.Decided, r.Value.FPRate*100)
+	}
+	return nil
+}
+
+func fig4e(time.Duration) error {
+	fmt.Println("# Fig 4e: Cbench bursts overwhelm the controller (second\tpacketin/s\tflowmod/s)")
+	res, err := experiment.CbenchBatch(context.Background(),
+		[]experiment.CbenchConfig{{Burst: 12000, Duration: 20 * time.Second}}, batch)
+	if err != nil {
+		return err
+	}
+	r := res[0].Value
+	for i := range r.Seconds {
+		fmt.Printf("%d\t%.0f\t%.0f\n", r.Seconds[i], r.PacketIns[i], r.FlowMods[i])
+	}
+	return nil
+}
+
+func throughputFig(kind jury.ControllerKind, rates []float64, dur time.Duration) error {
+	var cfgs []experiment.ThroughputConfig
 	for _, n := range []int{1, 3, 5, 7} {
 		for _, rate := range rates {
-			pt, err := experiment.Throughput(kind, n, -1, rate, dur, seed)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("n=%d\t%.0f\t%.0f\t%.0f\n", n, rate, pt.PacketIns, pt.FlowMods)
+			cfgs = append(cfgs, experiment.ThroughputConfig{
+				Kind: kind, N: n, JuryK: -1, Offered: rate, Duration: dur,
+			})
 		}
+	}
+	res, err := experiment.ThroughputBatch(context.Background(), cfgs, batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		fmt.Printf("n=%d\t%.0f\t%.0f\t%.0f\n",
+			r.Point.Params.N, r.Point.Params.Offered, r.Value.PacketIns, r.Value.FlowMods)
 	}
 	return nil
 }
 
-func fig4f(dur time.Duration, seed int64) error {
+func fig4f(dur time.Duration) error {
 	fmt.Println("# Fig 4f: vanilla ONOS (series\toffered\tpacketin/s\tflowmod/s)")
-	return throughputFig(jury.ONOS, []float64{1000, 3000, 5000, 7500, 10000}, dur, seed)
+	return throughputFig(jury.ONOS, []float64{1000, 3000, 5000, 7500, 10000}, dur)
 }
 
-func fig4g(dur time.Duration, seed int64) error {
+func fig4g(dur time.Duration) error {
 	fmt.Println("# Fig 4g: vanilla ODL (series\toffered\tpacketin/s\tflowmod/s)")
-	return throughputFig(jury.ODL, []float64{200, 400, 600, 800, 1000}, dur, seed)
+	return throughputFig(jury.ODL, []float64{200, 400, 600, 800, 1000}, dur)
 }
 
-func fig4h(dur time.Duration, seed int64) error {
+func fig4h(dur time.Duration) error {
 	fmt.Println("# Fig 4h: JURY-enhanced ONOS, n=7 (series\toffered\tflowmod/s)")
+	var cfgs []experiment.ThroughputConfig
 	for _, k := range []int{-1, 2, 4, 6} {
+		for _, rate := range []float64{2000, 4000, 6000, 8000, 10000} {
+			cfgs = append(cfgs, experiment.ThroughputConfig{
+				Kind: jury.ONOS, N: 7, JuryK: k, Offered: rate, Duration: dur,
+			})
+		}
+	}
+	res, err := experiment.ThroughputBatch(context.Background(), cfgs, batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
 		label := "vanilla"
-		if k >= 0 {
+		if k := r.Point.Params.JuryK; k >= 0 {
 			label = fmt.Sprintf("jury k=%d", k)
 		}
-		for _, rate := range []float64{2000, 4000, 6000, 8000, 10000} {
-			pt, err := experiment.Throughput(jury.ONOS, 7, k, rate, dur, seed)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%s\t%.0f\t%.0f\n", label, rate, pt.FlowMods)
-		}
+		fmt.Printf("%s\t%.0f\t%.0f\n", label, r.Point.Params.Offered, r.Value.FlowMods)
 	}
 	return nil
 }
 
-func fig4i(dur time.Duration, seed int64) error {
+func fig4i(dur time.Duration) error {
 	fmt.Println("# Fig 4i: ODL decapsulation overhead CDF (series\tµs\tfraction)")
+	var cfgs []experiment.DecapsulationConfig
 	for _, rate := range []float64{100, 200, 300, 400, 500} {
-		d, err := experiment.Decapsulation(rate, dur, seed)
-		if err != nil {
-			return err
-		}
-		for _, p := range d.CDF(25) {
-			fmt.Printf("%.0f/s\t%.1f\t%.3f\n", rate, float64(p.Value)/float64(time.Microsecond), p.Fraction)
+		cfgs = append(cfgs, experiment.DecapsulationConfig{Rate: rate, Duration: dur})
+	}
+	res, err := experiment.DecapsulationBatch(context.Background(), cfgs, batch)
+	if err != nil {
+		return err
+	}
+	for _, r := range res {
+		for _, p := range r.Value.CDF(25) {
+			fmt.Printf("%.0f/s\t%.1f\t%.3f\n",
+				r.Point.Params.Rate, float64(p.Value)/float64(time.Microsecond), p.Fraction)
 		}
 	}
 	return nil
 }
 
-func policyTable(time.Duration, int64) error {
+// policyTable stays a direct wall-clock micro-measurement: it times the
+// policy engines on this machine rather than running a simulation, so
+// there is nothing to seed or cache.
+func policyTable(time.Duration) error {
 	fmt.Println("# Policy validation cost (§VII-B2(3)): policies\tlinear-scan\tindexed")
 	for _, n := range []int{100, 1000, 10000} {
 		linear, indexed, err := policyCost(n)

@@ -9,10 +9,15 @@ import (
 // from critical APIs — engine runs, REST installs, validator wire paths —
 // where a swallowed error silently invalidates an experiment. critical
 // lists fully qualified function names as produced by
-// (*types.Func).FullName, e.g.
+// (*types.Func).FullName on the generic origin, e.g.
 //
 //	(*github.com/jurysdn/jury/internal/simnet.Engine).Run
+//	(*github.com/jurysdn/jury/internal/sweep.Sweep[P, R]).Run
 //	github.com/jurysdn/jury/internal/openflow.WriteMessage
+//
+// Methods on instantiated generic types render their FullName with the
+// concrete type arguments filled in, so matching goes through
+// (*types.Func).Origin to recover the `[P, R]` form above.
 //
 // Both bare call statements and blank-identifier assignments (`_ = f()`)
 // count as discards; deliberate best-effort call sites carry a
@@ -71,7 +76,11 @@ func checkDiscard(pass *Pass, critical map[string]bool, call *ast.CallExpr) {
 		return
 	}
 	fn, ok := pass.Info.Uses[id].(*types.Func)
-	if !ok || !critical[fn.FullName()] {
+	if !ok {
+		return
+	}
+	fn = fn.Origin()
+	if !critical[fn.FullName()] {
 		return
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestMaprangeFixture(t *testing.T) {
+	runFixture(t, fixtureDir("maprange", "mapfix"), "mapfix",
+		NewMaprange([]string{"mapfix"}))
+}

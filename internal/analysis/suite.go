@@ -14,8 +14,10 @@ var SimPackages = []string{
 // BridgePackages carry event-driven components across real TCP and
 // threads. They are allowed concurrency (checked by guardedby instead of
 // eventloop), but wall-clock reads must stay confined to annotated
-// real-time boundary code.
-var BridgePackages = []string{"ofconn", "wire"}
+// real-time boundary code. sweep is the experiment-orchestration bridge:
+// it fans whole simulations across a worker pool, so it owns goroutines
+// and channels but must stay deterministic from the outside.
+var BridgePackages = []string{"ofconn", "wire", "sweep"}
 
 // CriticalAPIs returns the FullName list of error-returning calls whose
 // results must not be silently discarded, for a module rooted at
@@ -30,6 +32,12 @@ func CriticalAPIs(modulePath string) []string {
 		"(*" + modulePath + "/internal/core.System).InstallFlowREST",
 		"(*" + modulePath + "/internal/wire.Client).Send",
 		modulePath + "/internal/openflow.WriteMessage",
+		// Sweep orchestration: a dropped campaign error means figures are
+		// silently missing points. Generic methods are listed in their
+		// origin form (errcrit matches through (*types.Func).Origin).
+		"(*" + modulePath + "/internal/sweep.Sweep[P, R]).Run",
+		"(*" + modulePath + "/internal/sweep.Sweep[P, R]).Results",
+		modulePath + "/internal/sweep.Run",
 	}
 }
 
@@ -45,5 +53,6 @@ func DefaultSuite(modulePath string) []*Analyzer {
 		NewEventloop(sim),
 		NewGuardedBy(nil), // acts only where `// guarded by` annotations exist
 		NewErrCrit(CriticalAPIs(modulePath)),
+		NewMaprange(sim),
 	}
 }

@@ -13,3 +13,12 @@ func Sweep() {
 	var e simnet.Engine
 	e.Run(time.Second)
 }
+
+// Rates leaks map iteration order into its result slice.
+func Rates(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

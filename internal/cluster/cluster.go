@@ -98,6 +98,7 @@ func (m *Membership) Members() []store.NodeID {
 // Alive returns the live controller IDs in order.
 func (m *Membership) Alive() []store.NodeID {
 	out := make([]store.NodeID, 0, len(m.members))
+	//jurylint:allow maprange -- filtered keys are sorted before return
 	for id, alive := range m.members {
 		if alive {
 			out = append(out, id)
@@ -125,6 +126,7 @@ func (m *Membership) IsMaster(id store.NodeID, dpid topo.DPID) bool {
 // Governed returns the switches mastered by id, sorted.
 func (m *Membership) Governed(id store.NodeID) []topo.DPID {
 	var out []topo.DPID
+	//jurylint:allow maprange -- filtered keys are sorted before return
 	for dpid, master := range m.masters {
 		if master == id {
 			out = append(out, dpid)
@@ -158,12 +160,11 @@ func (m *Membership) MarkDead(id store.NodeID) {
 	if len(alive) == 0 {
 		return
 	}
-	i := 0
-	for dpid, master := range m.masters {
-		if master == id {
-			m.SetMaster(dpid, alive[i%len(alive)])
-			i++
-		}
+	// Governed returns the orphaned switches sorted, so the reassignment
+	// round-robin is deterministic (a map range here would hand different
+	// switches to different survivors on every run).
+	for i, dpid := range m.Governed(id) {
+		m.SetMaster(dpid, alive[i%len(alive)])
 	}
 }
 

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/store"
@@ -39,13 +40,20 @@ func (c *Controller) lldpTick() {
 }
 
 // sweepStaleLinks marks links whose LLDP refresh is overdue as down.
+// Stale keys are sorted before acting: each down-write allocates a
+// trigger ID, so processing order must not depend on map iteration.
 func (c *Controller) sweepStaleLinks() {
 	deadline := 3 * c.profile.LLDPPeriod
 	now := c.eng.Now()
+	var stale []string
+	//jurylint:allow maprange -- stale keys are sorted before processing
 	for key, seen := range c.linkSeen {
-		if now-seen <= deadline {
-			continue
+		if now-seen > deadline {
+			stale = append(stale, key)
 		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
 		delete(c.linkSeen, key)
 		if v, ok := c.node.Get(store.LinksDB, key); ok && v == "up" {
 			c.WriteCache(store.LinksDB, store.OpUpdate, key, "down",

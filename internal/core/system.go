@@ -132,6 +132,7 @@ func (s *System) deliverPrimary(id store.NodeID, dpid topo.DPID, msg openflow.Me
 // ReplicationBytes totals trigger-replication traffic across replicators.
 func (s *System) ReplicationBytes() int64 {
 	var total int64
+	//jurylint:allow maprange -- commutative sum; visit order cannot change the total
 	for _, r := range s.replicators {
 		total += r.ReplicatedBytes()
 	}
@@ -141,6 +142,7 @@ func (s *System) ReplicationBytes() int64 {
 // ValidatorBytes totals module-to-validator traffic.
 func (s *System) ValidatorBytes() int64 {
 	var total int64
+	//jurylint:allow maprange -- commutative sum; visit order cannot change the total
 	for _, m := range s.modules {
 		total += m.ValidatorBytes()
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/jurysdn/jury/internal/cluster"
@@ -549,18 +550,43 @@ func (v *Validator) primaryResponses(p *pendingTrigger, primaryID store.NodeID) 
 	}
 	// Untainted responses from other controllers (e.g. the master of a
 	// remote switch materializing the primary's FlowsDB write) also count
-	// as authoritative cluster actions for this trigger.
-	for id, rs := range p.byController {
+	// as authoritative cluster actions for this trigger. Controllers are
+	// visited in ID order: the collected responses feed the sanity check,
+	// whose first-mismatch verdict depends on their order.
+	for _, id := range controllerIDs(p) {
 		if id == primaryID {
 			continue
 		}
-		for _, r := range rs {
+		for _, r := range p.byController[id] {
 			if !r.Tainted && r.Kind == NetworkWrite {
 				out = append(out, r)
 			}
 		}
 	}
 	return out
+}
+
+// controllerIDs returns the trigger's responders in sorted order so
+// order-sensitive consumers visit controllers deterministically.
+func controllerIDs(p *pendingTrigger) []store.NodeID {
+	ids := make([]store.NodeID, 0, len(p.byController))
+	for id := range p.byController {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sortedKeys returns a response map's keys in sorted order; per-slot
+// verdict loops report the first faulting slot, so evaluation order must
+// not depend on map iteration.
+func sortedKeys(m map[string]Response) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // consensusExternal validates the primary's side-effects against the
@@ -585,7 +611,8 @@ func (v *Validator) consensusExternal(p *pendingTrigger, primary []Response, pri
 		return Result{Verdict: VerdictValid}, final
 	}
 	allAgreed := true
-	for slot, pr := range slots {
+	for _, slot := range sortedKeys(slots) {
+		pr := slots[slot]
 		agree, sameStateConflicts, _ := v.tally(p, pr, slot, primaryID)
 		// A conflicting quorum is reached either by secondaries sharing
 		// the primary's pre-trigger state, or by a group of secondaries
@@ -658,8 +685,10 @@ func (v *Validator) consensusInternal(p *pendingTrigger, primary []Response, pri
 			slots[r.Slot()] = r
 		}
 	}
-	for slot, pr := range slots {
+	for _, slot := range sortedKeys(slots) {
+		pr := slots[slot]
 		conflicts := 0
+		//jurylint:allow maprange -- commutative conflict count; visit order cannot change it
 		for id, rs := range p.byController {
 			if id == primaryID {
 				continue
@@ -697,6 +726,7 @@ func (v *Validator) consensusInternal(p *pendingTrigger, primary []Response, pri
 // and conflicting responses (split by state equivalence, §IV-C A).
 func (v *Validator) tally(p *pendingTrigger, pr Response, slot string, primaryID store.NodeID) (agree, sameStateConflicts, anyConflicts int) {
 	want := pr.Body()
+	//jurylint:allow maprange -- commutative tally; per-controller counts do not depend on visit order
 	for id, rs := range p.byController {
 		if id == primaryID {
 			continue
@@ -737,6 +767,7 @@ func (v *Validator) tally(p *pendingTrigger, pr Response, slot string, primaryID
 func (v *Validator) conflictGroup(p *pendingTrigger, pr Response, slot string, primaryID store.NodeID) int {
 	want := pr.Body()
 	groups := make(map[string]map[store.NodeID]bool)
+	//jurylint:allow maprange -- commutative grouping; membership sets do not depend on visit order
 	for id, rs := range p.byController {
 		if id == primaryID {
 			continue
@@ -774,6 +805,7 @@ func (v *Validator) conflictGroup(p *pendingTrigger, pr Response, slot string, p
 		}
 	}
 	best := 0
+	//jurylint:allow maprange -- commutative max; visit order cannot change the largest size
 	for _, set := range groups {
 		if len(set) > best {
 			best = len(set)
@@ -823,6 +855,7 @@ func quorumOf(k int) int { return k/2 + 1 }
 // execution (side-effects or ExecDone) for the trigger.
 func (v *Validator) taintedResponders(p *pendingTrigger) int {
 	count := 0
+	//jurylint:allow maprange -- commutative count of distinct responders
 	for id, rs := range p.byController {
 		_ = id
 		for _, r := range rs {
@@ -939,7 +972,9 @@ func (v *Validator) sanityCheck(p *pendingTrigger, primary []Response, final boo
 		if !final {
 			return Result{}, false, false
 		}
-		for _, cr := range cacheRules {
+		// Sorted so the same orphaned rule is convicted on every run.
+		for _, key := range sortedKeys(cacheRules) {
+			cr := cacheRules[key]
 			if rule, err := controller.DecodeFlowRule(cr.Value); err == nil {
 				if master, ok := v.members.Master(rule.DPID); ok && v.members.IsAlive(master) {
 					return Result{

@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -120,6 +121,26 @@ func (d *Distribution) sort() {
 	}
 	sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
 	d.sorted = true
+}
+
+// MarshalJSON encodes the samples, sorted, as an array of nanosecond
+// counts. Sorting makes the encoding canonical: two distributions with
+// the same sample multiset encode identically no matter the insertion
+// order, which is what lets sweep results be compared byte-for-byte and
+// cached on disk.
+func (d Distribution) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.Samples())
+}
+
+// UnmarshalJSON restores a distribution serialized by MarshalJSON.
+func (d *Distribution) UnmarshalJSON(data []byte) error {
+	var samples []time.Duration
+	if err := json.Unmarshal(data, &samples); err != nil {
+		return err
+	}
+	d.samples = samples
+	d.sorted = false
+	return nil
 }
 
 // CDFPoint is one point of an empirical CDF.

@@ -19,6 +19,7 @@ package store
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"github.com/jurysdn/jury/internal/simnet"
@@ -280,15 +281,26 @@ func (c *Cluster) eventualWrite(n *Node, ev Event, done func()) {
 
 func (c *Cluster) applyAndFanOut(n *Node, ev Event, done func()) {
 	n.apply(ev, true)
-	for id, peer := range c.nodes {
+	for _, id := range c.nodeIDs() {
 		if id == n.id {
 			continue
 		}
-		c.replicate(peer, ev)
+		c.replicate(c.nodes[id], ev)
 	}
 	if done != nil {
 		done()
 	}
+}
+
+// nodeIDs returns the replica IDs in sorted order so replication fan-out
+// schedules engine events deterministically.
+func (c *Cluster) nodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func (c *Cluster) strongWrite(n *Node, ev Event, done func()) {
@@ -307,11 +319,11 @@ func (c *Cluster) strongWrite(n *Node, ev Event, done func()) {
 			return // origin crashed before commit
 		}
 		n.apply(ev, true)
-		for id, peer := range c.nodes {
+		for _, id := range c.nodeIDs() {
 			if id == n.id {
 				continue
 			}
-			c.replicate(peer, ev)
+			c.replicate(c.nodes[id], ev)
 		}
 		if done != nil {
 			done()
@@ -388,13 +400,15 @@ func (n *Node) Get(cache CacheName, key string) (string, bool) {
 // Len returns the number of entries in a cache at this replica.
 func (n *Node) Len(cache CacheName) int { return len(n.caches[cache]) }
 
-// Keys returns the keys of a cache at this replica (unordered).
+// Keys returns the keys of a cache at this replica in sorted order, so
+// module code iterating a cache visits entries deterministically.
 func (n *Node) Keys(cache CacheName) []string {
 	m := n.caches[cache]
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

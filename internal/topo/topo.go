@@ -126,6 +126,7 @@ func (t *Topology) addPort(p Port) {
 // Switches returns all switches in DPID order.
 func (t *Topology) Switches() []*Switch {
 	out := make([]*Switch, 0, len(t.switches))
+	//jurylint:allow maprange -- collected values are sorted before return
 	for _, sw := range t.switches {
 		out = append(out, sw)
 	}
@@ -142,6 +143,7 @@ func (t *Topology) Switch(dpid DPID) (*Switch, bool) {
 // Hosts returns all hosts in ID order.
 func (t *Topology) Hosts() []*Host {
 	out := make([]*Host, 0, len(t.hosts))
+	//jurylint:allow maprange -- collected values are sorted before return
 	for _, h := range t.hosts {
 		out = append(out, h)
 	}
@@ -170,6 +172,7 @@ func (t *Topology) Peer(p Port) (Port, bool) {
 // Links returns every unidirectional link, sorted for determinism.
 func (t *Topology) Links() []Link {
 	out := make([]Link, 0, len(t.links))
+	//jurylint:allow maprange -- collected links are sorted before return
 	for src, dst := range t.links {
 		out = append(out, Link{Src: src, Dst: dst})
 	}
