@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify figures
+.PHONY: build test race lint verify figures bench trace
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,20 @@ verify:
 # the missing points. Delete .jurycache to force a cold regeneration.
 figures:
 	$(GO) run ./cmd/juryfig -all -progress -cache .jurycache > figures.tsv
+
+# bench seeds the performance trajectory: the obs-overhead
+# microbenchmarks and the validator submit path at full statistical
+# weight, plus one pass over the root figure benchmarks, captured as
+# BENCH_obs.json. The file embeds the raw text under .raw, so
+#   jq -r .raw BENCH_obs.json | benchstat /dev/stdin
+# reconstructs benchstat's native input for comparisons against later
+# baselines.
+bench:
+	{ $(GO) test -run '^$$' -bench . -benchmem ./internal/obs ./internal/core; \
+	  $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# trace produces an example Chrome trace_event file from the quickstart
+# scenario; open trace.json in chrome://tracing or https://ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/jurysim -n 3 -k 2 -duration 2s -rate 300 -trace-out trace.json

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON document (stdout) for the repo's benchmark trajectory files
+// (BENCH_*.json). The original text is preserved verbatim under "raw", so
+// benchstat can always reconstruct its native input:
+//
+//	jq -r .raw BENCH_obs.json | benchstat /dev/stdin
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/obs | benchjson > BENCH_obs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed benchmark result line.
+type benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"b_per_op,omitempty"`
+	AllocsPer  float64 `json:"allocs_per_op,omitempty"`
+	// Raw is the untouched result line, benchstat's unit of input.
+	Raw string `json:"raw"`
+}
+
+// document is the BENCH_*.json schema.
+type document struct {
+	Format     string      `json:"format"` // "go-bench-text"
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        []string    `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+	// Raw is the full benchmark text, reconstructible benchstat input.
+	Raw string `json:"raw"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return fmt.Errorf("read input: %w", err)
+	}
+	doc := document{Format: "go-bench-text", Raw: string(raw)}
+	sc := bufio.NewScanner(strings.NewReader(doc.Raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = append(doc.Pkg, strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("scan input: %w", err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	return nil
+}
+
+// parseLine parses one "BenchmarkName-8  123  456 ns/op  789 B/op ..."
+// result line; non-result lines (e.g. a benchmark's log output happening
+// to start with "Benchmark") report ok=false.
+func parseLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: fields[0], Iterations: iters, Raw: line}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPer = v
+		}
+	}
+	return b, true
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
 	"github.com/jurysdn/jury/internal/wire"
@@ -40,6 +41,7 @@ func run() error {
 		adaptive   = flag.Bool("adaptive", false, "enable the adaptive (EWMA) validation deadline")
 		alarmsOnly = flag.Bool("alarms-only", false, "push only fault results to clients")
 		statsEvery = flag.Duration("stats-every", 10*time.Second, "period for logging aggregate stats (0 = off)")
+		metricsAt  = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (e.g. 127.0.0.1:9091; empty = off)")
 	)
 	flag.Parse()
 
@@ -68,6 +70,15 @@ func run() error {
 	}
 	defer srv.Close()
 	log.Printf("juryd: validating on %s (k=%d, n=%d, timeout=%v)", srv.Addr(), *k, *members, *timeout)
+
+	if *metricsAt != "" {
+		expo, err := obs.ServeExpo(*metricsAt, obs.ExpoConfig{Write: srv.WriteMetrics})
+		if err != nil {
+			return fmt.Errorf("juryd: metrics endpoint: %w", err)
+		}
+		defer expo.Close()
+		log.Printf("juryd: metrics on http://%s/metrics", expo.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

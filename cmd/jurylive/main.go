@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"time"
 
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
 	"github.com/jurysdn/jury/internal/dataplane"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/ofconn"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/simnet"
@@ -44,6 +46,7 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:0", "controller listen address")
 		nSwitches = flag.Int("switches", 4, "number of live switches to connect")
 		nFlows    = flag.Int("flows", 20, "flows to push through each switch")
+		metricsAt = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -59,11 +62,32 @@ func run() error {
 	profile := controller.ONOSProfile()
 	profile.PausePeriod = 0
 	profile.LLDPPeriod = 0
-	sc := store.NewCluster(ctrlEng, store.DefaultConfig(store.Eventual))
+	reg := obs.NewRegistry()
+	members.InstrumentMetrics(reg)
+	sccfg := store.DefaultConfig(store.Eventual)
+	sccfg.Metrics = reg
+	sc := store.NewCluster(ctrlEng, sccfg)
 	var ctrl *controller.Controller
 	ctrlPump.Do(func() {
 		ctrl = controller.New(ctrlEng, 1, profile, sc.AddNode(1), members)
 	})
+
+	if *metricsAt != "" {
+		// Scrapes hop onto the controller pump so registry reads are
+		// serialized with the event loop mutating it.
+		expo, err := obs.ServeExpo(*metricsAt, obs.ExpoConfig{
+			Write: func(w io.Writer) error {
+				var werr error
+				ctrlPump.Do(func() { werr = reg.WritePrometheus(w) })
+				return werr
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer expo.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", expo.Addr())
+	}
 
 	sessions := make(map[topo.DPID]bool)
 	ce, err := ofconn.ListenController(*listen, ctrlPump,

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -43,6 +44,7 @@ func run() error {
 		faultName = flag.String("fault", "", "catalog fault to inject on controller 1 (see -list-faults)")
 		listFault = flag.Bool("list-faults", false, "list the fault catalog and exit")
 		trace     = flag.String("trace", "", "drive a benign trace model instead of -rate: lbnl, univ or smia")
+		traceOut  = flag.String("trace-out", "", "record a per-trigger span trace and write it here (.jsonl for JSON Lines, otherwise Chrome trace_event JSON for chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,7 @@ func run() error {
 	if *noJury {
 		cfg.Policies = nil
 	}
+	cfg.EnableTracing = *traceOut != ""
 	sim, err := jury.New(cfg)
 	if err != nil {
 		return err
@@ -154,6 +157,41 @@ func run() error {
 		if len(alarms) > show {
 			fmt.Printf("... and %d more alarms\n", len(alarms)-show)
 		}
+	}
+
+	if *traceOut != "" {
+		if err := writeTrace(sim, *traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace dumps the recorded span trace and reports its end-to-end
+// coverage of decided triggers.
+func writeTrace(sim *jury.Simulation, path string) error {
+	tr := sim.Tracer()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create trace file: %w", err)
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Printf("\n-- trace --\n")
+	fmt.Printf("wrote %s: %d spans, %d triggers end-to-end\n",
+		path, len(tr.Spans()), tr.CompletedTriggers())
+	if v := sim.Validator(); v != nil && v.Decided() > 0 {
+		fmt.Printf("coverage: %.1f%% of decided triggers (replicate→verdict)\n",
+			100*float64(tr.CompletedTriggers())/float64(v.Decided()))
 	}
 	return nil
 }

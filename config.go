@@ -7,6 +7,7 @@ import (
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
 	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/policy"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
@@ -85,6 +86,19 @@ type Config struct {
 	// IndexedPolicies compiles the policy set with a cache index
 	// (ablation; the paper's engine scans linearly).
 	IndexedPolicies bool
+
+	// Metrics is the observability registry shared by every component of
+	// the deployment; nil creates one per simulation (reachable via
+	// Simulation.Metrics).
+	Metrics *obs.Registry
+	// Tracer records the per-trigger span tree across the pipeline
+	// (replicate → exec → store fan-out → verdict); nil disables tracing
+	// at zero hot-path cost.
+	Tracer *obs.Tracer
+	// EnableTracing creates a Tracer on the simulation's own virtual
+	// clock when Tracer is nil — the usual way to turn tracing on, since
+	// the engine does not exist before New.
+	EnableTracing bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -99,6 +113,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Topology == 0 {
 		c.Topology = Linear24
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
 	}
 	if c.EnableJury {
 		if c.K == 0 {
@@ -140,6 +157,8 @@ func (c Config) clusterMode() cluster.Mode {
 
 func (c Config) storeConfig(p controller.Profile) store.Config {
 	sc := store.DefaultConfig(p.Consistency)
+	sc.Metrics = c.Metrics
+	sc.Tracer = c.Tracer
 	if p.Consistency == store.Eventual {
 		sc.FlowBusService = p.StoreBusService
 	}

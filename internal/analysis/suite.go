@@ -16,8 +16,11 @@ var SimPackages = []string{
 // eventloop), but wall-clock reads must stay confined to annotated
 // real-time boundary code. sweep is the experiment-orchestration bridge:
 // it fans whole simulations across a worker pool, so it owns goroutines
-// and channels but must stay deterministic from the outside.
-var BridgePackages = []string{"ofconn", "wire", "sweep"}
+// and channels but must stay deterministic from the outside. obs is the
+// observability bridge: its tracer runs on the engine goroutine against
+// virtual time, but its registry is scraped by a live exposition server
+// that owns goroutines and reads the wall clock at one annotated boundary.
+var BridgePackages = []string{"ofconn", "wire", "sweep", "obs"}
 
 // CriticalAPIs returns the FullName list of error-returning calls whose
 // results must not be silently discarded, for a module rooted at
@@ -38,6 +41,12 @@ func CriticalAPIs(modulePath string) []string {
 		"(*" + modulePath + "/internal/sweep.Sweep[P, R]).Run",
 		"(*" + modulePath + "/internal/sweep.Sweep[P, R]).Results",
 		modulePath + "/internal/sweep.Run",
+		// Observability exports: a swallowed write error means a trace or
+		// metrics page silently truncated on disk or on the wire.
+		"(*" + modulePath + "/internal/obs.Tracer).WriteJSONL",
+		"(*" + modulePath + "/internal/obs.Tracer).WriteChromeTrace",
+		"(*" + modulePath + "/internal/obs.Registry).WritePrometheus",
+		modulePath + "/internal/obs.ServeExpo",
 	}
 }
 

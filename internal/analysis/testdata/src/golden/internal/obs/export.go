@@ -1,0 +1,26 @@
+// Package obs mimics the observability bridge with one discarded trace
+// export error for the driver golden test.
+package obs
+
+import "io"
+
+// Tracer records spans for export.
+type Tracer struct {
+	lines []string
+}
+
+// WriteJSONL exports the recorded spans; a swallowed error means a
+// silently truncated trace.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, l := range t.lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump is deliberately wrong: it drops the export error.
+func Dump(t *Tracer, w io.Writer) {
+	t.WriteJSONL(w)
+}

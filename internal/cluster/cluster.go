@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
 )
@@ -50,6 +51,12 @@ type Membership struct {
 
 	// observers are notified when mastership changes.
 	observers []func(dpid topo.DPID, master store.NodeID)
+
+	// Churn counters; standalone until InstrumentMetrics re-homes them in
+	// a registry for exposition.
+	masterChanges *obs.Counter
+	deaths        *obs.Counter
+	rejoins       *obs.Counter
 }
 
 // NewMembership creates a membership with the given mode and members, and
@@ -58,9 +65,12 @@ type Membership struct {
 // the lowest controller ID for ActivePassive.
 func NewMembership(mode Mode, members []store.NodeID, switches []topo.DPID) *Membership {
 	m := &Membership{
-		mode:    mode,
-		members: make(map[store.NodeID]bool, len(members)),
-		masters: make(map[topo.DPID]store.NodeID, len(switches)),
+		mode:          mode,
+		members:       make(map[store.NodeID]bool, len(members)),
+		masters:       make(map[topo.DPID]store.NodeID, len(switches)),
+		masterChanges: &obs.Counter{},
+		deaths:        &obs.Counter{},
+		rejoins:       &obs.Counter{},
 	}
 	sorted := append([]store.NodeID(nil), members...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -84,6 +94,29 @@ func NewMembership(mode Mode, members []store.NodeID, switches []topo.DPID) *Mem
 
 // Mode returns the connection-management mode.
 func (m *Membership) Mode() Mode { return m.mode }
+
+// InstrumentMetrics re-homes the churn counters in reg so they appear on
+// /metrics, and exposes the live-member count as a gauge. Call it at
+// wiring time, before any churn occurs.
+func (m *Membership) InstrumentMetrics(reg *obs.Registry) {
+	m.masterChanges = reg.Counter("jury_cluster_mastership_changes_total",
+		"Switch mastership reassignments (failovers and rebalances).")
+	m.deaths = reg.Counter("jury_cluster_member_deaths_total",
+		"Controllers marked dead.")
+	m.rejoins = reg.Counter("jury_cluster_member_rejoins_total",
+		"Controllers marked alive again after a death.")
+	reg.GaugeFunc("jury_cluster_members_alive", "Live controllers.",
+		func() float64 { return float64(len(m.Alive())) })
+}
+
+// MastershipChanges returns the number of mastership reassignments.
+func (m *Membership) MastershipChanges() int64 { return m.masterChanges.Value() }
+
+// Deaths returns the number of controllers marked dead.
+func (m *Membership) Deaths() int64 { return m.deaths.Value() }
+
+// Rejoins returns the number of controllers that rejoined after a death.
+func (m *Membership) Rejoins() int64 { return m.rejoins.Value() }
 
 // Members returns all known controller IDs in order.
 func (m *Membership) Members() []store.NodeID {
@@ -144,6 +177,7 @@ func (m *Membership) Observe(fn func(dpid topo.DPID, master store.NodeID)) {
 // SetMaster reassigns mastership of a switch.
 func (m *Membership) SetMaster(dpid topo.DPID, id store.NodeID) {
 	m.masters[dpid] = id
+	m.masterChanges.Inc()
 	for _, fn := range m.observers {
 		fn(dpid, id)
 	}
@@ -152,8 +186,12 @@ func (m *Membership) SetMaster(dpid topo.DPID, id store.NodeID) {
 // MarkDead marks a controller as failed and re-elects masters for its
 // switches (lowest-ID live controller wins, the usual bully outcome).
 func (m *Membership) MarkDead(id store.NodeID) {
-	if _, ok := m.members[id]; !ok {
+	wasAlive, ok := m.members[id]
+	if !ok {
 		return
+	}
+	if wasAlive {
+		m.deaths.Inc()
 	}
 	m.members[id] = false
 	alive := m.Alive()
@@ -170,7 +208,12 @@ func (m *Membership) MarkDead(id store.NodeID) {
 
 // MarkAlive marks a controller as (re)joined. Mastership is not rebalanced
 // automatically, matching controllers that require explicit rebalance.
-func (m *Membership) MarkAlive(id store.NodeID) { m.members[id] = true }
+func (m *Membership) MarkAlive(id store.NodeID) {
+	if alive, known := m.members[id]; known && !alive {
+		m.rejoins.Inc()
+	}
+	m.members[id] = true
+}
 
 // LinkLivenessMaster returns the controller responsible for tracking
 // liveness of a link between two switches: per the (buggy) election the

@@ -3,10 +3,12 @@ package core
 import (
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/jurysdn/jury/internal/controller"
 	"github.com/jurysdn/jury/internal/metrics"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
@@ -27,6 +29,9 @@ type ModuleConfig struct {
 	// DecapMean is the mean of the modeled PACKET_IN decapsulation
 	// overhead on the ODL path (Fig. 4i); zero for the proxy (ONOS) path.
 	DecapMean time.Duration
+	// Tracer records per-controller "exec" and "decap" spans; nil
+	// disables tracing at zero hot-path cost.
+	Tracer *obs.Tracer
 }
 
 // Module is JURY's per-controller component (~250 LOC in ONOS, ~550 in ODL
@@ -52,6 +57,11 @@ type Module struct {
 
 	validatorBytes int64
 	validatorMsgs  int64
+
+	tracer *obs.Tracer
+	// node is the controller's trace-node name ("C3"), precomputed so the
+	// tracing hot path never formats.
+	node string
 }
 
 // NewModule attaches a JURY module to a controller. The module registers
@@ -68,6 +78,8 @@ func NewModule(eng *simnet.Engine, ctrl *controller.Controller, validator *Valid
 		cfg:       cfg,
 		captured:  make(map[trigger.ID]int),
 		snapshots: make(map[trigger.ID]uint64),
+		tracer:    cfg.Tracer,
+		node:      "C" + strconv.Itoa(int(ctrl.ID())),
 	}
 	ctrl.AddCacheHook(m.onCacheWrite)
 	ctrl.AddEgressHook(m.onEgress)
@@ -154,12 +166,18 @@ func (m *Module) onEgress(c *controller.Controller, w *controller.EgressWrite) c
 // comparable regardless of the side-effects the trigger itself produces.
 func (m *Module) onProcessStart(ctx *trigger.Context) {
 	m.snapshots[ctx.ID] = m.ctrl.Node().Digest()
+	if m.tracer != nil {
+		m.tracer.StartSpan(string(ctx.ID), "exec", m.node)
+	}
 }
 
 // onProcessed reports no-op replicated executions so the validator can
 // tell "nothing to do" apart from response omission, and releases the
 // per-trigger snapshot.
 func (m *Module) onProcessed(_ topo.DPID, _ openflow.Message, ctx *trigger.Context) {
+	if m.tracer != nil {
+		m.tracer.EndSpan(string(ctx.ID), "exec", m.node, "")
+	}
 	if ctx.Tainted() && m.captured[ctx.ID] == 0 {
 		m.send(Response{
 			Controller: m.ctrl.ID(),
@@ -278,6 +296,10 @@ func (m *Module) HandleReplicated(dpid topo.DPID, msg openflow.Message, ctx *tri
 	}
 	overhead := m.decapOverhead()
 	m.DecapTimes.Add(overhead)
+	if m.tracer != nil {
+		start := m.eng.Now()
+		m.tracer.Emit(string(ctx.ID), "decap", m.node, start, start+overhead, "")
+	}
 	m.eng.Schedule(overhead, func() { deliver(inner) })
 }
 

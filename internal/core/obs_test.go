@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/obs"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+// TestSubmitDisabledTracerZeroAlloc is the tentpole's hot-path guarantee:
+// with tracing disabled (nil tracer), the steady-state Submit path — a
+// response landing on an already-decided trigger, the most frequent case
+// at high rates — performs zero allocations, so instrumentation costs
+// nothing when off.
+func TestSubmitDisabledTracerZeroAlloc(t *testing.T) {
+	_, v := newValidator(t, 2)
+	if v.Config().Tracer != nil {
+		t.Fatal("validator unexpectedly has a tracer")
+	}
+	// Decide a trigger early via full agreement.
+	v.Submit(cacheResp(1, 1, "τ", "k", "up", 7))
+	v.Submit(execResp(2, 1, "τ", "k", "up", 7))
+	v.Submit(execResp(3, 1, "τ", "k", "up", 7))
+	if v.Decided() != 1 {
+		t.Fatalf("decided = %d, want 1", v.Decided())
+	}
+	late := doneResp(2, 1, "τ", 7)
+	allocs := testing.AllocsPerRun(1000, func() { v.Submit(late) })
+	if allocs != 0 {
+		t.Fatalf("disabled-tracer Submit allocated %v/op, want 0", allocs)
+	}
+	if v.lateResponses.Value() < 1000 {
+		t.Fatalf("late responses = %d, loop did not hit the steady path", v.lateResponses.Value())
+	}
+}
+
+// TestValidatorMetricsExposed asserts the migrated counters land in the
+// registry under their Prometheus names and stay consistent with the
+// accessor methods.
+func TestValidatorMetricsExposed(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster,
+		[]store.NodeID{1, 2, 3}, []topo.DPID{1, 2})
+	reg := obs.NewRegistry()
+	v := NewValidator(eng, members, ValidatorConfig{K: 2, Timeout: 100 * time.Millisecond, Metrics: reg})
+	if v.Metrics() != reg {
+		t.Fatal("validator did not adopt the injected registry")
+	}
+	v.Submit(cacheResp(1, 1, "τ", "k", "up", 7))
+	v.Submit(execResp(2, 1, "τ", "k", "up", 7))
+	v.Submit(execResp(3, 1, "τ", "k", "up", 7))
+	if got := reg.Counter("jury_validator_decided_total", "").Value(); got != v.Decided() || got != 1 {
+		t.Fatalf("registry decided = %d, accessor = %d, want 1", got, v.Decided())
+	}
+	if got := reg.Counter("jury_validator_valid_total", "").Value(); got != v.Valid() || got != 1 {
+		t.Fatalf("registry valid = %d, accessor = %d, want 1", got, v.Valid())
+	}
+}
+
+// TestValidatorTracedTrigger asserts the validate span and the root close
+// with the verdict.
+func TestValidatorTracedTrigger(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster,
+		[]store.NodeID{1, 2, 3}, []topo.DPID{1, 2})
+	tr := obs.NewTracer(eng.Now)
+	v := NewValidator(eng, members, ValidatorConfig{K: 2, Timeout: 100 * time.Millisecond, Tracer: tr})
+	v.Submit(cacheResp(1, 1, "τ9", "k", "up", 7))
+	v.Submit(execResp(2, 1, "τ9", "k", "up", 7))
+	v.Submit(execResp(3, 1, "τ9", "k", "up", 7))
+	if tr.CompletedTriggers() != 1 {
+		t.Fatalf("completed triggers = %d, want 1", tr.CompletedTriggers())
+	}
+	var sawRoot, sawValidate bool
+	for _, s := range tr.Spans() {
+		switch {
+		case s.Name == "trigger" && s.Trigger == "τ9":
+			sawRoot = true
+			if s.Verdict != "valid" || s.Fault != "none" {
+				t.Fatalf("root verdict/fault = %q/%q", s.Verdict, s.Fault)
+			}
+		case s.Name == "validate" && s.Node == "validator":
+			sawValidate = true
+		}
+	}
+	if !sawRoot || !sawValidate {
+		t.Fatalf("trace missing spans: root=%v validate=%v", sawRoot, sawValidate)
+	}
+}
+
+// benchSubmit drives one full trigger lifecycle (three responses → early
+// decision) per iteration against a validator with the given tracer.
+func benchSubmit(b *testing.B, tr *obs.Tracer) {
+	eng := simnet.NewEngine(1)
+	var ids []store.NodeID
+	for i := 1; i <= 3; i++ {
+		ids = append(ids, store.NodeID(i))
+	}
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster, ids, []topo.DPID{1, 2})
+	v := NewValidator(eng, members, ValidatorConfig{K: 2, Timeout: 100 * time.Millisecond, Tracer: tr})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("τ%d", i)
+		v.Submit(cacheResp(1, 1, id, "k", "up", 7))
+		v.Submit(execResp(2, 1, id, "k", "up", 7))
+		v.Submit(execResp(3, 1, id, "k", "up", 7))
+	}
+	if int(v.Decided()) != b.N {
+		b.Fatalf("decided %d of %d triggers", v.Decided(), b.N)
+	}
+}
+
+// BenchmarkValidatorSubmitNoTracer is the obs-overhead baseline: the full
+// validation path with tracing disabled.
+func BenchmarkValidatorSubmitNoTracer(b *testing.B) {
+	benchSubmit(b, nil)
+}
+
+// BenchmarkValidatorSubmitTraced measures the same path with an enabled
+// tracer recording a root + validate span per trigger.
+func BenchmarkValidatorSubmitTraced(b *testing.B) {
+	eng := simnet.NewEngine(1)
+	benchSubmit(b, obs.NewTracer(eng.Now))
+}

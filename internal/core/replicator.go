@@ -5,6 +5,7 @@ import (
 
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
@@ -43,6 +44,12 @@ type ReplicatorConfig struct {
 	Mode ReplicationMode
 	// Latency is the one-way delay from the replicator to a controller.
 	Latency time.Duration
+	// Metrics receives the per-switch replication counters (labeled by
+	// dpid); nil falls back to a private registry.
+	Metrics *obs.Registry
+	// Tracer opens the root span per intercepted trigger; nil disables
+	// tracing at zero hot-path cost.
+	Tracer *obs.Tracer
 }
 
 // Replicator intercepts every southbound message of one switch, forwards
@@ -59,12 +66,15 @@ type Replicator struct {
 	primaryDeliver func(id store.NodeID, dpid topo.DPID, msg openflow.Message, ctx *trigger.Context)
 	modules        map[store.NodeID]*Module
 
-	alloc *trigger.IDAllocator
-	mac   openflow.MAC
+	alloc  *trigger.IDAllocator
+	mac    openflow.MAC
+	tracer *obs.Tracer
 
-	replicatedBytes int64
-	replicatedMsgs  int64
-	triggers        int64
+	// Counters live in the obs registry (labeled by dpid); the accessor
+	// methods below are thin reads over the same instances.
+	replicatedBytes *obs.Counter
+	replicatedMsgs  *obs.Counter
+	triggers        *obs.Counter
 }
 
 // NewReplicator creates the replicator for one switch. modules maps every
@@ -84,6 +94,11 @@ func NewReplicator(
 	if cfg.Mode == 0 {
 		cfg.Mode = ProxyMode
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	label := obs.L("dpid", dpid.String())
 	return &Replicator{
 		eng:            eng,
 		dpid:           dpid,
@@ -93,15 +108,22 @@ func NewReplicator(
 		primaryDeliver: primaryDeliver,
 		alloc:          trigger.NewIDAllocator(dpid.String()),
 		mac:            openflow.MAC{0x02, 0xEE, byte(dpid >> 24), byte(dpid >> 16), byte(dpid >> 8), byte(dpid)},
+		tracer:         cfg.Tracer,
+		replicatedBytes: reg.Counter("jury_replicator_replicated_bytes_total",
+			"Bytes mirrored to secondary controllers (§VII-B2).", label),
+		replicatedMsgs: reg.Counter("jury_replicator_replicated_messages_total",
+			"Messages mirrored to secondary controllers.", label),
+		triggers: reg.Counter("jury_replicator_triggers_total",
+			"External triggers intercepted.", label),
 	}
 }
 
 // ReplicatedBytes returns the bytes mirrored to secondary controllers
 // (§VII-B2 overhead accounting).
-func (r *Replicator) ReplicatedBytes() int64 { return r.replicatedBytes }
+func (r *Replicator) ReplicatedBytes() int64 { return r.replicatedBytes.Value() }
 
 // Triggers returns the number of external triggers intercepted.
-func (r *Replicator) Triggers() int64 { return r.triggers }
+func (r *Replicator) Triggers() int64 { return r.triggers.Value() }
 
 // HandleFromSwitch processes one southbound message emitted by the switch.
 func (r *Replicator) HandleFromSwitch(msg openflow.Message) {
@@ -109,11 +131,14 @@ func (r *Replicator) HandleFromSwitch(msg openflow.Message) {
 	if !ok {
 		return
 	}
-	r.triggers++
+	r.triggers.Inc()
 	ctx := &trigger.Context{
 		ID:      r.alloc.Next(),
 		Kind:    trigger.External,
 		Primary: primary,
+	}
+	if r.tracer != nil {
+		r.tracer.StartTrigger(string(ctx.ID), msg.Type().String())
 	}
 	dpid := r.dpid
 	r.eng.Schedule(r.cfg.Latency, func() {
@@ -137,8 +162,8 @@ func (r *Replicator) HandleFromSwitch(msg openflow.Message) {
 			copyMsg = msg
 			size = openflow.WireLen(msg)
 		}
-		r.replicatedBytes += int64(size)
-		r.replicatedMsgs++
+		r.replicatedBytes.Add(int64(size))
+		r.replicatedMsgs.Inc()
 		m, f := mod, frame
 		cm := copyMsg
 		r.eng.Schedule(r.cfg.Latency, func() {
@@ -151,14 +176,17 @@ func (r *Replicator) HandleFromSwitch(msg openflow.Message) {
 // goes to the target controller, tainted copies to k secondaries (REST
 // calls are external triggers, §II-A2).
 func (r *Replicator) ReplicateREST(target store.NodeID, rule controller.FlowRule, install func(id store.NodeID, rule controller.FlowRule, ctx *trigger.Context)) {
-	r.triggers++
+	r.triggers.Inc()
 	ctx := &trigger.Context{ID: r.alloc.Next(), Kind: trigger.External, Primary: target}
+	if r.tracer != nil {
+		r.tracer.StartTrigger(string(ctx.ID), "rest-install")
+	}
 	r.eng.Schedule(r.cfg.Latency, func() { install(target, rule, ctx) })
 	for _, id := range r.pickSecondaries(target) {
 		replicaCtx := ctx.ReplicaOf()
 		sid := id
-		r.replicatedBytes += int64(len(rule.Encode()) + 64)
-		r.replicatedMsgs++
+		r.replicatedBytes.Add(int64(len(rule.Encode()) + 64))
+		r.replicatedMsgs.Inc()
 		r.eng.Schedule(r.cfg.Latency, func() { install(sid, rule, replicaCtx) })
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
 	"github.com/jurysdn/jury/internal/dataplane"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
@@ -32,6 +33,12 @@ type SystemConfig struct {
 	// DecapMean overrides the modeled decapsulation overhead mean for
 	// EncapMode.
 	DecapMean time.Duration
+	// Metrics is the registry shared by the validator, modules and
+	// replicators; nil creates one per system.
+	Metrics *obs.Registry
+	// Tracer records the per-trigger span tree across the whole pipeline;
+	// nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // System assembles a JURY deployment: one module per controller, one
@@ -50,6 +57,11 @@ type System struct {
 // NewSystem creates a JURY system for the given membership.
 func NewSystem(eng *simnet.Engine, members *cluster.Membership, cfg SystemConfig) *System {
 	cfg.Validator.K = cfg.K
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	cfg.Validator.Metrics = cfg.Metrics
+	cfg.Validator.Tracer = cfg.Tracer
 	return &System{
 		eng:         eng,
 		cfg:         cfg,
@@ -64,12 +76,19 @@ func NewSystem(eng *simnet.Engine, members *cluster.Membership, cfg SystemConfig
 // Validator returns the out-of-band validator.
 func (s *System) Validator() *Validator { return s.validator }
 
+// Metrics returns the registry shared across the deployment's components.
+func (s *System) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Tracer returns the system tracer (nil when tracing is disabled).
+func (s *System) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
 // AttachController instruments a controller with a JURY module.
 func (s *System) AttachController(ctrl *controller.Controller) *Module {
 	mcfg := ModuleConfig{
 		K:                s.cfg.K,
 		ValidatorLatency: s.cfg.ValidatorLatency,
 		RelayAll:         s.cfg.RelayAll,
+		Tracer:           s.cfg.Tracer,
 	}
 	if s.cfg.Mode == EncapMode {
 		mcfg.DecapMean = s.cfg.DecapMean
@@ -96,6 +115,8 @@ func (s *System) AttachSwitch(sw *dataplane.Switch) (*Replicator, error) {
 		K:       s.cfg.K,
 		Mode:    s.cfg.Mode,
 		Latency: s.cfg.ReplicatorLatency,
+		Metrics: s.cfg.Metrics,
+		Tracer:  s.cfg.Tracer,
 	})
 	sw.SetSendUp(rep.HandleFromSwitch)
 	s.replicators[sw.DPID()] = rep

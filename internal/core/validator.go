@@ -8,6 +8,7 @@ import (
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
 	"github.com/jurysdn/jury/internal/metrics"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
@@ -133,6 +134,13 @@ type ValidatorConfig struct {
 	// exemptions are skipped. Expect higher false-positive rates under
 	// eventually-consistent churn.
 	NoStateAware bool
+	// Metrics receives the validator's counters and detection-time
+	// distributions; nil falls back to a private registry so the accessor
+	// methods keep working with nothing scraped.
+	Metrics *obs.Registry
+	// Tracer records a "validate" span per trigger and closes the root
+	// span with the verdict; nil disables tracing at zero hot-path cost.
+	Tracer *obs.Tracer
 }
 
 // Validator is JURY's out-of-band response validator (Algorithm 1).
@@ -140,6 +148,8 @@ type Validator struct {
 	eng     *simnet.Engine
 	cfg     ValidatorConfig
 	members *cluster.Membership
+	reg     *obs.Registry
+	tracer  *obs.Tracer
 
 	// Policy is the optional POLICY_CHECK hook.
 	Policy PolicyFunc
@@ -165,17 +175,19 @@ type Validator struct {
 	ewmaDev  float64
 	ewmaInit bool
 
-	// Aggregates.
+	// Aggregates. The counters live in the obs registry so a live
+	// /metrics endpoint can scrape them; the accessors below are thin
+	// reads over the same instances.
 	Detections metrics.Distribution // detection time per decided trigger
 	// DetectionsExternal records detection time for external triggers
 	// only (the population of Figs. 4a-4d).
 	DetectionsExternal metrics.Distribution
-	totalDecided       int64
-	totalValid         int64
-	totalFaults        int64
-	totalNonDet        int64
-	totalTimeouts      int64
-	lateResponses      int64
+	totalDecided       *obs.Counter
+	totalValid         *obs.Counter
+	totalFaults        *obs.Counter
+	totalNonDet        *obs.Counter
+	totalTimeouts      *obs.Counter
+	lateResponses      *obs.Counter
 	alarms             []Result
 }
 
@@ -226,32 +238,53 @@ func NewValidator(eng *simnet.Engine, members *cluster.Membership, cfg Validator
 	if cfg.AdaptiveFactor <= 0 {
 		cfg.AdaptiveFactor = 4
 	}
-	return &Validator{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	v := &Validator{
 		eng:     eng,
 		cfg:     cfg,
 		members: members,
+		reg:     reg,
+		tracer:  cfg.Tracer,
 		psi:     make(map[store.NodeID]psiState),
 		pending: make(map[trigger.ID]*pendingTrigger),
 	}
+	v.totalDecided = reg.Counter("jury_validator_decided_total", "Triggers decided.")
+	v.totalValid = reg.Counter("jury_validator_valid_total", "Triggers judged valid.")
+	v.totalFaults = reg.Counter("jury_validator_faults_total", "Alarms raised (fault verdicts).")
+	v.totalNonDet = reg.Counter("jury_validator_nondeterministic_total", "Triggers labeled non-deterministic.")
+	v.totalTimeouts = reg.Counter("jury_validator_timeouts_total", "Decisions forced by timer expiry.")
+	v.lateResponses = reg.Counter("jury_validator_late_responses_total", "Responses arriving after the verdict.")
+	reg.GaugeFunc("jury_validator_pending", "Triggers awaiting decision.",
+		func() float64 { return float64(len(v.pending)) })
+	reg.Histogram("jury_validator_detection_seconds", "Detection time per decided trigger.", &v.Detections)
+	reg.Histogram("jury_validator_detection_external_seconds", "Detection time for external triggers (Figs. 4a-4d).", &v.DetectionsExternal)
+	return v
 }
+
+// Metrics returns the registry holding the validator's counters, for
+// exposition.
+func (v *Validator) Metrics() *obs.Registry { return v.reg }
 
 // Config returns the validator configuration.
 func (v *Validator) Config() ValidatorConfig { return v.cfg }
 
 // Decided returns the number of triggers decided.
-func (v *Validator) Decided() int64 { return v.totalDecided }
+func (v *Validator) Decided() int64 { return v.totalDecided.Value() }
 
 // Valid returns the number of triggers judged valid.
-func (v *Validator) Valid() int64 { return v.totalValid }
+func (v *Validator) Valid() int64 { return v.totalValid.Value() }
 
 // Faults returns the number of alarms raised.
-func (v *Validator) Faults() int64 { return v.totalFaults }
+func (v *Validator) Faults() int64 { return v.totalFaults.Value() }
 
 // NonDeterministic returns the number of triggers labeled non-deterministic.
-func (v *Validator) NonDeterministic() int64 { return v.totalNonDet }
+func (v *Validator) NonDeterministic() int64 { return v.totalNonDet.Value() }
 
 // Timeouts returns the number of decisions forced by timer expiry.
-func (v *Validator) Timeouts() int64 { return v.totalTimeouts }
+func (v *Validator) Timeouts() int64 { return v.totalTimeouts.Value() }
 
 // Alarms returns the retained alarm results.
 func (v *Validator) Alarms() []Result {
@@ -262,10 +295,11 @@ func (v *Validator) Alarms() []Result {
 
 // FalsePositiveRate returns alarms / decisions — meaningful on benign runs.
 func (v *Validator) FalsePositiveRate() float64 {
-	if v.totalDecided == 0 {
+	decided := v.totalDecided.Value()
+	if decided == 0 {
 		return 0
 	}
-	return float64(v.totalFaults) / float64(v.totalDecided)
+	return float64(v.totalFaults.Value()) / float64(decided)
 }
 
 // Pending returns the number of triggers awaiting decision.
@@ -299,9 +333,17 @@ func (v *Validator) Submit(r Response) {
 		}
 		p.timer = v.eng.Schedule(v.timeout(), func() { v.expire(p) })
 		v.pending[r.Trigger] = p
+		if v.tracer != nil {
+			id := string(r.Trigger)
+			// Ensure a root exists (idempotent: the replicator's
+			// replicate-time open wins for external triggers; internal
+			// triggers open here).
+			v.tracer.StartTrigger(id, "")
+			v.tracer.StartSpan(id, "validate", "validator")
+		}
 	}
 	if p.decided {
-		v.lateResponses++
+		v.lateResponses.Inc()
 		return
 	}
 	p.respones++
@@ -346,7 +388,7 @@ func (v *Validator) expire(p *pendingTrigger) {
 	if p.decided {
 		return
 	}
-	v.totalTimeouts++
+	v.totalTimeouts.Inc()
 	if v.OnTimeoutResponses != nil {
 		v.OnTimeoutResponses(p.id, p.all)
 	}
@@ -381,14 +423,14 @@ func (v *Validator) finish(p *pendingTrigger, res Result, timedOut bool) {
 		v.DetectionsExternal.Add(res.DetectionTime)
 	}
 	v.updateAdaptive(res.DetectionTime)
-	v.totalDecided++
+	v.totalDecided.Inc()
 	switch res.Verdict {
 	case VerdictValid:
-		v.totalValid++
+		v.totalValid.Inc()
 	case VerdictNonDeterministic:
-		v.totalNonDet++
+		v.totalNonDet.Inc()
 	case VerdictFault:
-		v.totalFaults++
+		v.totalFaults.Inc()
 		evidence := p.all
 		if len(evidence) > 32 {
 			evidence = evidence[:32]
@@ -397,6 +439,11 @@ func (v *Validator) finish(p *pendingTrigger, res Result, timedOut bool) {
 		if len(v.alarms) < v.cfg.MaxAlarms {
 			v.alarms = append(v.alarms, res)
 		}
+	}
+	if v.tracer != nil {
+		id := string(p.id)
+		v.tracer.EndSpan(id, "validate", "validator", res.Reason)
+		v.tracer.EndTrigger(id, res.Verdict.String(), res.Fault.String())
 	}
 	if v.OnResult != nil {
 		v.OnResult(res)

@@ -395,8 +395,8 @@ func TestValidatorLateResponsesAbsorbed(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("ghost decision: %d", count)
 	}
-	if v.lateResponses != 1 {
-		t.Fatalf("late = %d", v.lateResponses)
+	if v.lateResponses.Value() != 1 {
+		t.Fatalf("late = %d", v.lateResponses.Value())
 	}
 }
 

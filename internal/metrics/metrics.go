@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -14,41 +15,65 @@ import (
 
 // Distribution accumulates duration samples and answers percentile and CDF
 // queries. The zero value is ready to use.
+//
+// Percentile/Max/Min/FractionBelow sort lazily and cache the sorted state,
+// so a batch of queries after a batch of Adds pays for one sort. Snapshot
+// returns an immutable view sharing the sorted backing array (no copy per
+// scrape); the next Add after a Snapshot clones the samples so the view
+// stays frozen.
 type Distribution struct {
 	samples []time.Duration
+	sum     time.Duration
 	sorted  bool
+	// shared marks the backing array as referenced by a Snapshot;
+	// mutations must copy-on-write.
+	shared bool
 }
 
 // Add records one sample.
 func (d *Distribution) Add(v time.Duration) {
+	if d.shared {
+		d.samples = append([]time.Duration(nil), d.samples...)
+		d.shared = false
+	}
 	d.samples = append(d.samples, v)
+	d.sum += v
 	d.sorted = false
 }
 
 // Count returns the number of samples.
 func (d *Distribution) Count() int { return len(d.samples) }
 
+// Sum returns the sum of all samples.
+func (d *Distribution) Sum() time.Duration { return d.sum }
+
 // Percentile returns the p-th percentile (p in [0,100]) using
 // nearest-rank interpolation; it returns 0 for an empty distribution.
 func (d *Distribution) Percentile(p float64) time.Duration {
-	if len(d.samples) == 0 {
+	d.sort()
+	return percentileSorted(d.samples, p)
+}
+
+// percentileSorted computes the interpolated percentile of an ascending
+// sample slice.
+func percentileSorted(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
 		return 0
 	}
-	d.sort()
 	if p <= 0 {
-		return d.samples[0]
+		return samples[0]
 	}
 	if p >= 100 {
-		return d.samples[len(d.samples)-1]
+		return samples[len(samples)-1]
 	}
-	rank := p / 100 * float64(len(d.samples)-1)
+	rank := p / 100 * float64(len(samples)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return d.samples[lo]
+		return samples[lo]
 	}
 	frac := rank - float64(lo)
-	return d.samples[lo] + time.Duration(frac*float64(d.samples[hi]-d.samples[lo]))
+	return samples[lo] + time.Duration(frac*float64(samples[hi]-samples[lo]))
 }
 
 // Mean returns the arithmetic mean, or 0 if empty.
@@ -56,11 +81,7 @@ func (d *Distribution) Mean() time.Duration {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, v := range d.samples {
-		sum += v
-	}
-	return sum / time.Duration(len(d.samples))
+	return d.sum / time.Duration(len(d.samples))
 }
 
 // Max returns the largest sample, or 0 if empty.
@@ -119,8 +140,60 @@ func (d *Distribution) sort() {
 	if d.sorted {
 		return
 	}
-	sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+	slices.Sort(d.samples) // non-reflective sort: no per-query closure churn
 	d.sorted = true
+}
+
+// Snapshot returns an immutable sorted view of the current samples. The
+// view shares the distribution's backing array — no copy per scrape —
+// and stays frozen: the next Add clones the samples before appending.
+func (d *Distribution) Snapshot() Snapshot {
+	d.sort()
+	d.shared = true
+	return Snapshot{samples: d.samples[:len(d.samples):len(d.samples)], sum: d.sum}
+}
+
+// Snapshot is an immutable sorted view of a Distribution, safe to query
+// without further synchronization once taken.
+type Snapshot struct {
+	samples []time.Duration
+	sum     time.Duration
+}
+
+// Count returns the number of samples in the view.
+func (s Snapshot) Count() int { return len(s.samples) }
+
+// Sum returns the sum of the samples in the view.
+func (s Snapshot) Sum() time.Duration { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (s Snapshot) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(len(s.samples))
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (s Snapshot) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (s Snapshot) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Percentile returns the p-th percentile with the same nearest-rank
+// interpolation as Distribution.Percentile.
+func (s Snapshot) Percentile(p float64) time.Duration {
+	return percentileSorted(s.samples, p)
 }
 
 // MarshalJSON encodes the samples, sorted, as an array of nanosecond
@@ -139,7 +212,12 @@ func (d *Distribution) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	d.samples = samples
+	d.sum = 0
+	for _, v := range samples {
+		d.sum += v
+	}
 	d.sorted = false
+	d.shared = false
 	return nil
 }
 

@@ -195,3 +195,74 @@ func TestFormatTableAligns(t *testing.T) {
 		t.Fatalf("rows not aligned:\n%s", out)
 	}
 }
+
+func TestSnapshotFrozenAcrossAdds(t *testing.T) {
+	var d Distribution
+	d.Add(30 * time.Millisecond)
+	d.Add(10 * time.Millisecond)
+	d.Add(20 * time.Millisecond)
+	snap := d.Snapshot()
+	if snap.Count() != 3 || snap.Sum() != 60*time.Millisecond {
+		t.Fatalf("snapshot = %d samples / %v sum", snap.Count(), snap.Sum())
+	}
+	if snap.Min() != 10*time.Millisecond || snap.Max() != 30*time.Millisecond {
+		t.Fatalf("snapshot min/max = %v/%v", snap.Min(), snap.Max())
+	}
+	// Mutating the distribution must not disturb the view (copy-on-write).
+	d.Add(5 * time.Millisecond)
+	d.Add(40 * time.Millisecond)
+	if snap.Count() != 3 || snap.Min() != 10*time.Millisecond || snap.Max() != 30*time.Millisecond {
+		t.Fatalf("snapshot mutated by later Adds: %d samples, min %v, max %v",
+			snap.Count(), snap.Min(), snap.Max())
+	}
+	if d.Count() != 5 || d.Min() != 5*time.Millisecond || d.Max() != 40*time.Millisecond {
+		t.Fatalf("distribution lost samples after snapshot: %d / %v / %v",
+			d.Count(), d.Min(), d.Max())
+	}
+	if got, want := snap.Percentile(50), 20*time.Millisecond; got != want {
+		t.Fatalf("snapshot p50 = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var d Distribution
+	snap := d.Snapshot()
+	if snap.Count() != 0 || snap.Sum() != 0 || snap.Mean() != 0 ||
+		snap.Min() != 0 || snap.Max() != 0 || snap.Percentile(99) != 0 {
+		t.Fatal("empty snapshot returned nonzero statistics")
+	}
+}
+
+func TestSnapshotMatchesDistributionQueries(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Add(time.Duration(i) * time.Millisecond)
+	}
+	snap := d.Snapshot()
+	for _, p := range []float64{0, 25, 50, 90, 95, 99, 100} {
+		if got, want := snap.Percentile(p), d.Percentile(p); got != want {
+			t.Fatalf("p%v: snapshot %v != distribution %v", p, got, want)
+		}
+	}
+	if snap.Mean() != d.Mean() {
+		t.Fatalf("mean: snapshot %v != distribution %v", snap.Mean(), d.Mean())
+	}
+}
+
+func TestSortCachedAcrossQueryBatch(t *testing.T) {
+	var d Distribution
+	for i := 0; i < 1000; i++ {
+		d.Add(time.Duration(1000-i) * time.Microsecond)
+	}
+	// A batch of queries after a batch of Adds must not re-sort per call:
+	// with the cache each query after the first is O(1)/O(log n).
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = d.Percentile(50)
+		_ = d.Max()
+		_ = d.Min()
+		_ = d.FractionBelow(500 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("query batch allocated %v/op after sort cache, want 0", allocs)
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable virtual clock for tracer tests.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) Now() time.Duration      { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now += d }
+func newFakeTracer() (*Tracer, *fakeClock) {
+	c := &fakeClock{}
+	return NewTracer(c.Now), c
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.StartTrigger("τ", "packet-in")
+	tr.StartSpan("τ", "exec", "C1")
+	tr.EndSpan("τ", "exec", "C1", "")
+	tr.Emit("τ", "store-repl", "store/C2", 0, time.Millisecond, "")
+	tr.EndTrigger("τ", "valid", "none")
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer produced %d spans", len(got))
+	}
+	if tr.CompletedTriggers() != 0 || tr.OpenSpans() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports nonzero counters")
+	}
+	if err := tr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSpanLifecycle(t *testing.T) {
+	tr, clock := newFakeTracer()
+	tr.StartTrigger("τ1", "packet-in")
+	clock.advance(time.Millisecond)
+	tr.StartSpan("τ1", "exec", "C1")
+	clock.advance(2 * time.Millisecond)
+	tr.EndSpan("τ1", "exec", "C1", "")
+	tr.Emit("τ1", "store-repl", "store/C1", 2*time.Millisecond, 4*time.Millisecond, "FlowsDB")
+	clock.advance(time.Millisecond)
+	tr.EndTrigger("τ1", "valid", "none")
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Canonical order: by start time, then sequence.
+	root := spans[0]
+	if root.Name != "trigger" || root.Node != "triggers" {
+		t.Fatalf("first span = %s on %s, want root trigger span", root.Name, root.Node)
+	}
+	if root.StartNS != 0 || root.DurNS != int64(4*time.Millisecond) {
+		t.Fatalf("root = [%d, +%d]ns, want [0, +4ms]", root.StartNS, root.DurNS)
+	}
+	if root.Verdict != "valid" || root.Fault != "none" || root.Detail != "packet-in" {
+		t.Fatalf("root verdict/fault/detail = %q/%q/%q", root.Verdict, root.Fault, root.Detail)
+	}
+	exec := spans[1]
+	if exec.Name != "exec" || exec.Node != "C1" ||
+		exec.StartNS != int64(time.Millisecond) || exec.DurNS != int64(2*time.Millisecond) {
+		t.Fatalf("exec span = %+v", exec)
+	}
+	if tr.CompletedTriggers() != 1 || tr.OpenSpans() != 0 {
+		t.Fatalf("completed=%d open=%d", tr.CompletedTriggers(), tr.OpenSpans())
+	}
+}
+
+func TestStartTriggerIdempotent(t *testing.T) {
+	tr, clock := newFakeTracer()
+	tr.StartTrigger("τ", "packet-in")
+	clock.advance(time.Millisecond)
+	tr.StartTrigger("τ", "late-reopen") // must not reset the start or detail
+	clock.advance(time.Millisecond)
+	tr.EndTrigger("τ", "valid", "none")
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].StartNS != 0 || spans[0].Detail != "packet-in" {
+		t.Fatalf("root = start %dns detail %q, first opener should win", spans[0].StartNS, spans[0].Detail)
+	}
+}
+
+func TestEndTriggerWithoutStart(t *testing.T) {
+	tr, clock := newFakeTracer()
+	clock.advance(3 * time.Millisecond)
+	tr.EndTrigger("ghost", "valid", "none")
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].DurNS != 0 || spans[0].StartNS != int64(3*time.Millisecond) {
+		t.Fatalf("spans = %+v, want one zero-length span at 3ms", spans)
+	}
+	if tr.CompletedTriggers() != 1 {
+		t.Fatalf("completed = %d", tr.CompletedTriggers())
+	}
+}
+
+func TestEndSpanWithoutStartIsNoop(t *testing.T) {
+	tr, _ := newFakeTracer()
+	tr.EndSpan("τ", "exec", "C1", "")
+	if len(tr.Spans()) != 0 {
+		t.Fatal("unmatched EndSpan produced a span")
+	}
+}
+
+func TestMaxSpansDrops(t *testing.T) {
+	tr, _ := newFakeTracer()
+	tr.MaxSpans = 2
+	for i := 0; i < 5; i++ {
+		tr.Emit("τ", "store-repl", "store/C1", 0, time.Millisecond, "")
+	}
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(tr.Spans()))
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestWriteJSONLGolden(t *testing.T) {
+	tr, clock := newFakeTracer()
+	tr.StartTrigger("τ1", "packet-in")
+	clock.advance(time.Millisecond)
+	tr.StartSpan("τ1", "exec", "C1")
+	clock.advance(time.Millisecond)
+	tr.EndSpan("τ1", "exec", "C1", "")
+	tr.EndTrigger("τ1", "valid", "none")
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":1,"trigger":"τ1","name":"trigger","node":"triggers","start_ns":0,"dur_ns":2000000,"verdict":"valid","fault":"none","detail":"packet-in"}
+{"seq":2,"trigger":"τ1","name":"exec","node":"C1","start_ns":1000000,"dur_ns":1000000}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("JSONL mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	tr, clock := newFakeTracer()
+	tr.StartTrigger("τ1", "")
+	tr.StartSpan("τ1", "exec", "C1")
+	clock.advance(1500 * time.Nanosecond)
+	tr.EndSpan("τ1", "exec", "C1", "")
+	tr.EndTrigger("τ1", "fault", "omission")
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"displayTimeUnit":"ms","traceEvents":[
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"C1"}},
+{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"triggers"}},
+{"ph":"X","pid":1,"tid":2,"name":"trigger","cat":"jury","ts":0.000,"dur":1.500,"args":{"fault":"omission","trigger":"τ1","verdict":"fault"}},
+{"ph":"X","pid":1,"tid":1,"name":"exec","cat":"jury","ts":0.000,"dur":1.500,"args":{"trigger":"τ1"}}
+]}
+`
+	if got := b.String(); got != want {
+		t.Fatalf("Chrome trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	render := func() string {
+		tr, clock := newFakeTracer()
+		for i := 0; i < 50; i++ {
+			id := string(rune('a' + i%26))
+			tr.StartTrigger(id, "packet-in")
+			tr.StartSpan(id, "exec", "C1")
+			clock.advance(time.Duration(i+1) * time.Microsecond)
+			tr.EndSpan(id, "exec", "C1", "")
+			tr.EndTrigger(id, "valid", "none")
+		}
+		var b strings.Builder
+		if err := tr.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if render() != render() {
+		t.Fatal("identical span programs rendered different JSONL")
+	}
+}
+
+func TestUsec(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"},
+		{1, "0.001"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1500, "1.500"},
+		{2_000_001, "2000.001"},
+		{-1500, "-1.500"},
+	}
+	for _, c := range cases {
+		if got := usec(c.ns); got != c.want {
+			t.Errorf("usec(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

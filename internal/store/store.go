@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"time"
 
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/simnet"
 )
 
@@ -157,6 +159,12 @@ type Config struct {
 	// node — the Hazelcast flow-rule-backup bottleneck the paper's
 	// footnote 4 describes. Zero disables the bus.
 	FlowBusService time.Duration
+	// Metrics receives the replication traffic counters; nil falls back
+	// to a private registry.
+	Metrics *obs.Registry
+	// Tracer records a "store-repl" span per tagged event delivered to a
+	// remote replica; nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the calibrated configuration for a consistency
@@ -190,16 +198,35 @@ type Cluster struct {
 	// eventual-mode FlowsDB backup bus
 	busBusyUntil time.Duration
 
-	replBytes int64
-	replMsgs  int64
+	tracer *obs.Tracer
+	// Counters live in the obs registry; the accessor methods below are
+	// thin reads over the same instances.
+	replBytes *obs.Counter
+	replMsgs  *obs.Counter
 }
 
 // NewCluster creates a store cluster on the engine.
 func NewCluster(eng *simnet.Engine, cfg Config) *Cluster {
 	if cfg.Consistency == 0 {
-		cfg = DefaultConfig(Eventual)
+		def := DefaultConfig(Eventual)
+		def.Metrics = cfg.Metrics
+		def.Tracer = cfg.Tracer
+		cfg = def
 	}
-	return &Cluster{eng: eng, cfg: cfg, nodes: make(map[NodeID]*Node)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Cluster{
+		eng:    eng,
+		cfg:    cfg,
+		nodes:  make(map[NodeID]*Node),
+		tracer: cfg.Tracer,
+		replBytes: reg.Counter("jury_store_replication_bytes_total",
+			"Inter-controller store replication traffic in bytes (§VII-B2)."),
+		replMsgs: reg.Counter("jury_store_replication_messages_total",
+			"Store replication messages sent to remote replicas."),
+	}
 }
 
 // AddNode creates the replica for a controller node.
@@ -229,10 +256,10 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 func (c *Cluster) Consistency() Consistency { return c.cfg.Consistency }
 
 // ReplicationBytes returns total inter-controller replication traffic.
-func (c *Cluster) ReplicationBytes() int64 { return c.replBytes }
+func (c *Cluster) ReplicationBytes() int64 { return c.replBytes.Value() }
 
 // ReplicationMessages returns total replication message count.
-func (c *Cluster) ReplicationMessages() int64 { return c.replMsgs }
+func (c *Cluster) ReplicationMessages() int64 { return c.replMsgs.Value() }
 
 // write performs a mutation originated at node n. done (optional) fires
 // when the write is durable per the consistency model: immediately after
@@ -333,8 +360,8 @@ func (c *Cluster) strongWrite(n *Node, ev Event, done func()) {
 
 func (c *Cluster) replicate(peer *Node, ev Event) {
 	size := ev.WireSize()
-	c.replBytes += int64(size)
-	c.replMsgs++
+	c.replBytes.Add(int64(size))
+	c.replMsgs.Inc()
 	delay := c.cfg.ReplicationLatency
 	if c.cfg.ReplicationJitter > 0 {
 		delay += time.Duration(c.eng.Rand().Int63n(int64(c.cfg.ReplicationJitter)))
@@ -345,6 +372,13 @@ func (c *Cluster) replicate(peer *Node, ev Event) {
 		delay = 0
 	}
 	id := peer.id
+	if c.tracer != nil && ev.Tag != "" {
+		// The store fan-out interval for a tainted write: send at the
+		// origin to in-order apply at the replica.
+		start := c.eng.Now()
+		c.tracer.Emit(ev.Tag, "store-repl", "store/C"+strconv.Itoa(int(id)),
+			start, start+delay, string(ev.Cache))
+	}
 	c.eng.Schedule(delay, func() {
 		if p, ok := c.nodes[id]; ok {
 			p.applyInOrder(ev)

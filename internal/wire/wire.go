@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -136,6 +137,17 @@ func (s *Server) Stats() Stats {
 		Timeouts: s.validator.Timeouts(),
 		Pending:  s.validator.Pending(),
 	}
+}
+
+// WriteMetrics renders the validator's metrics registry in Prometheus
+// text format under the server lock, serializing the scrape against the
+// event loop (the registry wraps distributions the validator mutates, so
+// an unlocked scrape would race with decisions). Pass it as the Write
+// hook of an obs exposition endpoint.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validator.Metrics().WritePrometheus(w)
 }
 
 // Alarms returns the validator's retained alarms.

@@ -28,6 +28,7 @@ import (
 	"github.com/jurysdn/jury/internal/core"
 	"github.com/jurysdn/jury/internal/dataplane"
 	"github.com/jurysdn/jury/internal/metrics"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/policy"
 	"github.com/jurysdn/jury/internal/simnet"
@@ -75,6 +76,9 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	eng := simnet.NewEngine(cfg.Seed)
+	if cfg.EnableTracing && cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(eng.Now)
+	}
 
 	top := cfg.CustomTopology
 	if top == nil {
@@ -103,6 +107,7 @@ func New(cfg Config) (*Simulation, error) {
 		memberIDs = append(memberIDs, store.NodeID(i))
 	}
 	members := cluster.NewMembership(cfg.clusterMode(), memberIDs, dpids)
+	members.InstrumentMetrics(cfg.Metrics)
 
 	storeCluster := store.NewCluster(eng, cfg.storeConfig(profile))
 
@@ -165,6 +170,8 @@ func (s *Simulation) wireJury() error {
 			NoStateAware: cfg.NoStateAware,
 		},
 		RelayAll: cfg.RelayAll,
+		Metrics:  cfg.Metrics,
+		Tracer:   cfg.Tracer,
 	}
 	s.System = core.NewSystem(s.Engine, s.Members, sysCfg)
 	for _, ctrl := range s.Controllers {
@@ -293,6 +300,13 @@ func (s *Simulation) InstallFlowREST(target int, rule controller.FlowRule) error
 // MastershipChatterBytes returns the modeled mastership request/notify
 // traffic between secondaries and primaries (§VII-B2).
 func (s *Simulation) MastershipChatterBytes() int64 { return s.mastershipChatter }
+
+// Metrics returns the observability registry shared by every component of
+// this simulation, for /metrics exposition or direct reads.
+func (s *Simulation) Metrics() *obs.Registry { return s.Config.Metrics }
+
+// Tracer returns the trigger tracer (nil when tracing is disabled).
+func (s *Simulation) Tracer() *obs.Tracer { return s.Config.Tracer }
 
 // Validator returns the out-of-band validator (nil when JURY is off).
 func (s *Simulation) Validator() *core.Validator {
