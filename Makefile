@@ -13,7 +13,7 @@ test:
 # the traces back to back; -parallel bounds the subtest width and the
 # timeout has headroom for single-core runners.
 race:
-	$(GO) test -race -timeout 20m -parallel 4 ./...
+	$(GO) test -race -timeout 30m -parallel 4 ./...
 
 lint:
 	$(GO) vet ./...

@@ -18,10 +18,8 @@ import (
 	"syscall"
 	"time"
 
-	"github.com/jurysdn/jury/internal/core"
+	jury "github.com/jurysdn/jury"
 	"github.com/jurysdn/jury/internal/obs"
-	"github.com/jurysdn/jury/internal/store"
-	"github.com/jurysdn/jury/internal/topo"
 	"github.com/jurysdn/jury/internal/wire"
 )
 
@@ -42,28 +40,23 @@ func run() error {
 		alarmsOnly = flag.Bool("alarms-only", false, "push only fault results to clients")
 		statsEvery = flag.Duration("stats-every", 10*time.Second, "period for logging aggregate stats (0 = off)")
 		metricsAt  = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (e.g. 127.0.0.1:9091; empty = off)")
+
+		maxLine   = flag.Int("max-line-bytes", wire.DefaultMaxLineBytes, "max protocol line size; oversized lines are rejected and counted, not fatal")
+		heartbeat = flag.Duration("heartbeat-every", wire.DefaultHeartbeatEvery, "ping idle client connections this often (negative = off)")
+		idle      = flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "reap connections idle past this horizon (negative = off)")
 	)
 	flag.Parse()
 
-	var (
-		ids []store.NodeID
-		ds  []topo.DPID
-	)
-	for i := 1; i <= *members; i++ {
-		ids = append(ids, store.NodeID(i))
-	}
-	for i := 1; i <= *switches; i++ {
-		ds = append(ds, topo.DPID(i))
-	}
-	srv, err := wire.Serve(*listen, wire.ServerConfig{
-		Validator: core.ValidatorConfig{
-			K:        *k,
-			Timeout:  *timeout,
-			Adaptive: *adaptive,
-		},
-		Members:    ids,
-		Switches:   ds,
-		AlarmsOnly: *alarmsOnly,
+	srv, err := jury.ServeValidator(*listen, jury.ValidatorServiceConfig{
+		ClusterSize:       *members,
+		K:                 *k,
+		Switches:          *switches,
+		ValidationTimeout: *timeout,
+		AdaptiveTimeout:   *adaptive,
+		AlarmsOnly:        *alarmsOnly,
+		MaxLineBytes:      *maxLine,
+		HeartbeatEvery:    *heartbeat,
+		IdleTimeout:       *idle,
 	})
 	if err != nil {
 		return err

@@ -4,9 +4,17 @@
 // rules installed reactively — the same event-driven components as the
 // simulation, pumped by wall-clock time (internal/ofconn).
 //
+// With -validator, every egress FLOW_MOD is additionally streamed to a
+// running juryd as a fabricated response complement (one untainted primary
+// response plus -validator-k tainted secondary responses), exercising the
+// out-of-band wire path end to end. The wire client reconnects with
+// backoff, so a juryd restart mid-run costs at most the bounded send
+// backlog — the loss shows up in the dropped count, never silently.
+//
 // Usage:
 //
 //	jurylive -switches 4 -flows 20
+//	jurylive -switches 4 -flows 20 -validator 127.0.0.1:9090 -validator-k 2
 package main
 
 import (
@@ -14,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync"
 	"time"
 
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/core"
 	"github.com/jurysdn/jury/internal/dataplane"
 	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/ofconn"
@@ -25,6 +35,8 @@ import (
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+	"github.com/jurysdn/jury/internal/wire"
 )
 
 // liveSwitch is one switch in its own pumped event domain, connected to
@@ -47,6 +59,9 @@ func run() error {
 		nSwitches = flag.Int("switches", 4, "number of live switches to connect")
 		nFlows    = flag.Int("flows", 20, "flows to push through each switch")
 		metricsAt = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (empty = off)")
+
+		validatorAt = flag.String("validator", "", "stream egress FLOW_MODs to a juryd validator at this address (empty = off)")
+		validatorK  = flag.Int("validator-k", 2, "fabricated secondary responses per egress (must match juryd -k)")
 	)
 	flag.Parse()
 
@@ -71,6 +86,74 @@ func run() error {
 	ctrlPump.Do(func() {
 		ctrl = controller.New(ctrlEng, 1, profile, sc.AddNode(1), members)
 	})
+
+	// Optional out-of-band validation: every egress FLOW_MOD becomes a
+	// fabricated response complement streamed to a juryd over the
+	// resilient wire client (reconnects across a juryd restart; loss is
+	// bounded by the send queue and visible on Dropped()).
+	var (
+		vc       *wire.Client
+		vmu      sync.Mutex
+		vResults int
+		vAlarms  int
+		vStats   *wire.Stats
+	)
+	if *validatorAt != "" {
+		c, err := wire.DialConfig(*validatorAt, wire.ClientConfig{
+			Metrics: reg,
+			OnResult: func(r core.Result) {
+				vmu.Lock()
+				vResults++
+				if r.Verdict == core.VerdictFault {
+					vAlarms++
+				}
+				vmu.Unlock()
+			},
+			OnStats: func(st wire.Stats) {
+				vmu.Lock()
+				vStats = &st
+				vmu.Unlock()
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("jurylive: validator: %w", err)
+		}
+		defer c.Close()
+		vc = c
+		fmt.Printf("streaming egress FLOW_MODs to validator at %s (k=%d)\n", *validatorAt, *validatorK)
+		egress := 0
+		ctrlPump.Do(func() {
+			ctrl.OnEgress = func(dpid topo.DPID, msg openflow.Message, _ *trigger.Context) {
+				if _, ok := msg.(*openflow.FlowMod); !ok {
+					return
+				}
+				egress++ // runs on the pump: serialized with the event loop
+				base := core.Response{
+					Primary: 1,
+					Trigger: trigger.ID(fmt.Sprintf("live-%d", egress)),
+					Cache:   store.FlowsDB,
+					Op:      store.OpCreate,
+					Key:     dpid.String(),
+					Value:   core.CanonicalMessage(msg),
+				}
+				p := base
+				p.Controller = 1
+				p.Kind = core.CacheUpdate
+				if err := vc.Send(p); err != nil {
+					log.Printf("jurylive: validator send: %v", err)
+				}
+				for i := 0; i < *validatorK; i++ {
+					s := base
+					s.Controller = store.NodeID(2 + i)
+					s.Kind = core.SecondaryExec
+					s.Tainted = true
+					if err := vc.Send(s); err != nil {
+						log.Printf("jurylive: validator send: %v", err)
+					}
+				}
+			}
+		})
+	}
 
 	if *metricsAt != "" {
 		// Scrapes hop onto the controller pump so registry reads are
@@ -163,6 +246,35 @@ func run() error {
 		return fmt.Errorf("only %d of %d rules installed", total, want)
 	}
 	fmt.Printf("OK: %d reactive flow rules installed over live TCP OpenFlow\n", total)
+
+	if vc != nil {
+		// Ask the validator for its aggregate view, then report the wire
+		// client's own accounting: reconnects and any shed backlog.
+		if err := vc.RequestStats(); err != nil {
+			log.Printf("jurylive: stats request: %v", err)
+		}
+		statsDeadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(statsDeadline) {
+			vmu.Lock()
+			st := vStats
+			vmu.Unlock()
+			if st != nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		vmu.Lock()
+		fmt.Printf("validator: %d results received (%d alarms)\n", vResults, vAlarms)
+		if vStats != nil {
+			fmt.Printf("validator: decided=%d valid=%d alarms=%d timeouts=%d pending=%d\n",
+				vStats.Decided, vStats.Valid, vStats.Faults, vStats.Timeouts, vStats.Pending)
+		} else {
+			fmt.Println("validator: no stats reply (validator unreachable?)")
+		}
+		vmu.Unlock()
+		fmt.Printf("wire client: reconnects=%d dropped=%d backlog=%d\n",
+			vc.Reconnects(), vc.Dropped(), vc.Backlog())
+	}
 	return nil
 }
 

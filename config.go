@@ -179,3 +179,55 @@ func (c Config) replicationMode() core.ReplicationMode {
 	}
 	return core.ProxyMode
 }
+
+// ValidatorServiceConfig assembles the out-of-band validator service of
+// Fig. 2 (what cmd/juryd runs): the deployment shape the validator
+// assumes plus the wire-bridge resilience knobs. The zero value selects
+// the paper's defaults.
+type ValidatorServiceConfig struct {
+	// ClusterSize is n, the number of controllers whose responses the
+	// validator expects (default 7).
+	ClusterSize int
+	// K is the replication factor (default n-1).
+	K int
+	// Switches is the number of datapaths in the membership map
+	// (default 24).
+	Switches int
+	// ValidationTimeout is θτ (default 130ms, the §VII calibration).
+	ValidationTimeout time.Duration
+	// AdaptiveTimeout enables the EWMA adaptive deadline (§VIII-1).
+	AdaptiveTimeout bool
+	// AlarmsOnly pushes only fault results to connected clients.
+	AlarmsOnly bool
+
+	// MaxLineBytes caps one protocol line; oversized lines are rejected
+	// and counted without killing the connection (default
+	// wire.DefaultMaxLineBytes).
+	MaxLineBytes int
+	// HeartbeatEvery probes idle client connections with ping envelopes
+	// (default wire.DefaultHeartbeatEvery; negative disables).
+	HeartbeatEvery time.Duration
+	// IdleTimeout reaps half-open peers idle past this horizon (default
+	// wire.DefaultIdleTimeout; negative disables).
+	IdleTimeout time.Duration
+	// Metrics receives the jury_wire_* connection-lifecycle families;
+	// nil shares the validator's own registry, so the service /metrics
+	// page carries them automatically.
+	Metrics *obs.Registry
+}
+
+func (c ValidatorServiceConfig) withDefaults() ValidatorServiceConfig {
+	if c.ClusterSize <= 0 {
+		c.ClusterSize = 7
+	}
+	if c.K <= 0 {
+		c.K = c.ClusterSize - 1
+	}
+	if c.Switches <= 0 {
+		c.Switches = 24
+	}
+	if c.ValidationTimeout <= 0 {
+		c.ValidationTimeout = 130 * time.Millisecond
+	}
+	return c
+}

@@ -8,9 +8,11 @@ import (
 	jury "github.com/jurysdn/jury"
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/controller"
+	"github.com/jurysdn/jury/internal/core"
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/policy"
 	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/wire"
 	"github.com/jurysdn/jury/internal/workload"
 )
 
@@ -194,4 +196,56 @@ func TestRESTInstallThroughFacade(t *testing.T) {
 	if sim.Validator().Decided() == 0 {
 		t.Fatal("REST trigger not validated")
 	}
+}
+
+// TestServeValidatorFacade spins the out-of-band validator service up via
+// the public facade and validates one complement over real TCP.
+func TestServeValidatorFacade(t *testing.T) {
+	srv, err := jury.ServeValidator("127.0.0.1:0", jury.ValidatorServiceConfig{
+		ClusterSize:       3,
+		K:                 2,
+		Switches:          4,
+		ValidationTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	send := func(ctrl store.NodeID, kind core.ResponseKind, tainted bool) {
+		t.Helper()
+		if err := c.Send(core.Response{
+			Controller: ctrl,
+			Primary:    1,
+			Trigger:    "τ-facade",
+			Kind:       kind,
+			Tainted:    tainted,
+			Cache:      store.LinksDB,
+			Op:         store.OpCreate,
+			Key:        "k",
+			Value:      "up",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1, core.CacheUpdate, false)
+	send(2, core.SecondaryExec, true)
+	send(3, core.SecondaryExec, true)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := srv.Stats(); st.Decided == 1 {
+			if st.Valid != 1 {
+				t.Fatalf("stats = %+v, want 1 valid", st)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("validator never decided the complement")
 }

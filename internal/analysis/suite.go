@@ -20,7 +20,11 @@ var SimPackages = []string{
 // observability bridge: its tracer runs on the engine goroutine against
 // virtual time, but its registry is scraped by a live exposition server
 // that owns goroutines and reads the wall clock at one annotated boundary.
-var BridgePackages = []string{"ofconn", "wire", "sweep", "obs"}
+// wiretest is the wire bridge's fault-injection harness: its conn and
+// listener wrappers run on real sockets from test goroutines, but their
+// fault schedules are explicit calls — no timers, no randomness — so it
+// is held to the same wall-clock discipline as the bridge it exercises.
+var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs"}
 
 // CriticalAPIs returns the FullName list of error-returning calls whose
 // results must not be silently discarded, for a module rooted at

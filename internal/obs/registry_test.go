@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -21,6 +22,27 @@ func TestCounterGaugeBasics(t *testing.T) {
 	g.Set(-1)
 	if got := g.Value(); got != -1 {
 		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers {
+		t.Fatalf("gauge = %v, want %d (concurrent Add lost updates)", got, workers)
 	}
 }
 

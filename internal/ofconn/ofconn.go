@@ -8,15 +8,37 @@
 package ofconn
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/jurysdn/jury/internal/openflow"
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/topo"
 )
+
+// Accept-error backoff bounds: persistent failures (EMFILE, ECONNABORTED
+// storms) retry on a doubling schedule instead of hot-spinning a core.
+const (
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffMax  = time.Second
+)
+
+// realSleep waits d or until cancel closes, reporting whether the full
+// wait elapsed.
+func realSleep(d time.Duration, cancel <-chan struct{}) bool {
+	t := time.NewTimer(d) //jurylint:allow wallclock -- real-time backoff boundary
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
 
 // Pump advances a discrete-event engine with wall-clock time, serializing
 // all access to the event-driven components behind a mutex. Components
@@ -100,11 +122,19 @@ type ControllerEnd struct {
 	// handle feeds a southbound message into the controller; send
 	// transmits a message back to the connected switch.
 	handle func(dpid topo.DPID, msg openflow.Message, send func(openflow.Message))
+	// sleep waits between Accept retries (injected by tests to pin the
+	// backoff schedule).
+	sleep func(d time.Duration, cancel <-chan struct{}) bool
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{} // guarded by mu
-	done  sync.WaitGroup
-	stop  chan struct{}
+	acceptErrs atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
+
+	done      sync.WaitGroup
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // ListenController starts accepting switch connections on addr.
@@ -117,36 +147,72 @@ func ListenController(
 	if err != nil {
 		return nil, fmt.Errorf("ofconn: listen: %w", err)
 	}
+	return NewControllerEnd(ln, pump, handle), nil
+}
+
+// NewControllerEnd starts accepting switch connections on an existing
+// listener, taking ownership of it. Tests use it to inject fault-wrapped
+// listeners.
+func NewControllerEnd(
+	ln net.Listener,
+	pump *Pump,
+	handle func(dpid topo.DPID, msg openflow.Message, send func(openflow.Message)),
+) *ControllerEnd {
+	return newControllerEnd(ln, pump, handle, realSleep)
+}
+
+func newControllerEnd(
+	ln net.Listener,
+	pump *Pump,
+	handle func(dpid topo.DPID, msg openflow.Message, send func(openflow.Message)),
+	sleep func(d time.Duration, cancel <-chan struct{}) bool,
+) *ControllerEnd {
 	ce := &ControllerEnd{
 		ln:     ln,
 		pump:   pump,
 		handle: handle,
+		sleep:  sleep,
 		conns:  make(map[net.Conn]struct{}),
 		stop:   make(chan struct{}),
 	}
 	ce.done.Add(1)
 	go ce.acceptLoop()
-	return ce, nil
+	return ce
 }
 
 // Addr returns the listen address.
 func (ce *ControllerEnd) Addr() string { return ce.ln.Addr().String() }
 
-// Close stops the listener and all connections.
+// AcceptErrors returns the number of Accept failures retried so far.
+func (ce *ControllerEnd) AcceptErrors() int64 { return ce.acceptErrs.Load() }
+
+// Close stops the listener and all connections. Safe to call more than
+// once. The closed flag flips under mu before the connection sweep, so a
+// connection accepted concurrently can never be registered after the
+// sweep and leak a blocked reader past Close.
 func (ce *ControllerEnd) Close() error {
-	close(ce.stop)
-	err := ce.ln.Close()
-	ce.mu.Lock()
-	for conn := range ce.conns {
-		_ = conn.Close()
-	}
-	ce.mu.Unlock()
+	var err error
+	ce.closeOnce.Do(func() {
+		ce.mu.Lock()
+		ce.closed = true
+		conns := make([]net.Conn, 0, len(ce.conns))
+		for conn := range ce.conns {
+			conns = append(conns, conn)
+		}
+		ce.mu.Unlock()
+		close(ce.stop)
+		err = ce.ln.Close()
+		for _, conn := range conns {
+			_ = conn.Close()
+		}
+	})
 	ce.done.Wait()
 	return err
 }
 
 func (ce *ControllerEnd) acceptLoop() {
 	defer ce.done.Done()
+	backoff := acceptBackoffBase
 	for {
 		conn, err := ce.ln.Accept()
 		if err != nil {
@@ -154,10 +220,28 @@ func (ce *ControllerEnd) acceptLoop() {
 			case <-ce.stop:
 				return
 			default:
-				continue
 			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient accept failure: back off instead of hot-spinning,
+			// doubling up to the cap until the next success.
+			ce.acceptErrs.Add(1)
+			if !ce.sleep(backoff, ce.stop) {
+				return
+			}
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffBase
 		ce.mu.Lock()
+		if ce.closed {
+			ce.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
 		ce.conns[conn] = struct{}{}
 		ce.mu.Unlock()
 		ce.done.Add(1)

@@ -1,6 +1,8 @@
 package ofconn
 
 import (
+	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/wire/wiretest"
 )
 
 func waitFor(t *testing.T, cond func() bool) {
@@ -227,4 +230,135 @@ func TestPumpWithInjectedClock(t *testing.T) {
 			t.Fatalf("virtual time = %v, want 2h", now)
 		}
 	})
+}
+
+// TestControllerEndAcceptBackoff scripts a burst of Accept failures and
+// verifies the loop backs off on a doubling schedule (never hot-spins),
+// recovers once accepts succeed again, and counts every failure.
+func TestControllerEndAcceptBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := wiretest.WrapListener(ln)
+	const failures = 4
+	fl.FailAccepts(failures, errors.New("synthetic accept failure"))
+
+	var (
+		mu     sync.Mutex
+		delays []time.Duration
+	)
+	sleep := func(d time.Duration, cancel <-chan struct{}) bool {
+		mu.Lock()
+		delays = append(delays, d)
+		mu.Unlock()
+		select {
+		case <-cancel:
+			return false
+		default:
+			return true
+		}
+	}
+	eng := simnet.NewEngine(1)
+	pump := NewPump(eng, time.Millisecond)
+	defer pump.Close()
+	handled := 0
+	ce := newControllerEnd(fl, pump,
+		func(topo.DPID, openflow.Message, func(openflow.Message)) { handled++ }, sleep)
+	defer ce.Close()
+
+	waitFor(t, func() bool { return ce.AcceptErrors() == failures })
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(delays) >= failures
+	})
+	mu.Lock()
+	got := append([]time.Duration(nil), delays[:failures]...)
+	mu.Unlock()
+	want := acceptBackoffBase
+	for i, d := range got {
+		if d != want {
+			t.Fatalf("delay %d = %v, want %v", i, d, want)
+		}
+		if want *= 2; want > acceptBackoffMax {
+			want = acceptBackoffMax
+		}
+	}
+
+	// The listener recovered: a real switch can still connect and bind.
+	se, err := DialSwitch(ce.Addr(), 7, pump, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	if err := se.Send(&openflow.PacketIn{InPort: 1, Data: openflow.TCPPacket(topo.HostMAC(1), topo.HostMAC(2), topo.HostIP(1), topo.HostIP(2), 1, 2, 0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		n := 0
+		pump.Do(func() { n = handled })
+		return n == 1
+	})
+}
+
+// TestControllerEndCloseUnderAcceptStorm closes the end while clients
+// dial in a tight loop: Close must return promptly and no connection may
+// be registered after its sweep.
+func TestControllerEndCloseUnderAcceptStorm(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	pump := NewPump(eng, time.Millisecond)
+	defer pump.Close()
+	ce, err := ListenController("127.0.0.1:0", pump,
+		func(topo.DPID, openflow.Message, func(openflow.Message)) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ce.Addr()
+
+	stop := make(chan struct{})
+	var dialers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		dialers.Add(1)
+		go func() {
+			defer dialers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					continue
+				}
+				_ = conn.Close()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- ce.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ControllerEnd.Close did not return under accept storm")
+	}
+	close(stop)
+	dialers.Wait()
+
+	ce.mu.Lock()
+	leaked := len(ce.conns)
+	ce.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d connections leaked past Close", leaked)
+	}
+	// Idempotent: a second Close is a no-op, not a panic.
+	if err := ce.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
 }

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	a := NewBackoff(10*time.Millisecond, time.Second, 42)
+	b := NewBackoff(10*time.Millisecond, time.Second, 42)
+	for i := 0; i < 20; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBackoffEnvelopeAndCap(t *testing.T) {
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	bo := NewBackoff(base, max, 7)
+	env := base
+	for i := 0; i < 12; i++ {
+		d := bo.Next()
+		if d < env/2 || d > env {
+			t.Fatalf("step %d: delay %v outside [%v, %v]", i, d, env/2, env)
+		}
+		if env < max {
+			env *= 2
+			if env > max {
+				env = max
+			}
+		}
+	}
+	// After many steps the envelope is pinned at Max.
+	for i := 0; i < 5; i++ {
+		if d := bo.Next(); d < max/2 || d > max {
+			t.Fatalf("capped delay %v outside [%v, %v]", d, max/2, max)
+		}
+	}
+}
+
+func TestBackoffResetReturnsToBase(t *testing.T) {
+	base := 8 * time.Millisecond
+	bo := NewBackoff(base, time.Second, 3)
+	for i := 0; i < 10; i++ {
+		bo.Next()
+	}
+	bo.Reset()
+	if d := bo.Next(); d < base/2 || d > base {
+		t.Fatalf("post-reset delay %v outside [%v, %v]", d, base/2, base)
+	}
+}
+
+func TestBackoffDegenerateInputs(t *testing.T) {
+	bo := NewBackoff(0, 0, 1)
+	if bo.Base <= 0 || bo.Max < bo.Base {
+		t.Fatalf("defaults not applied: base=%v max=%v", bo.Base, bo.Max)
+	}
+	if d := bo.Next(); d <= 0 {
+		t.Fatalf("degenerate schedule produced non-positive delay %v", d)
+	}
+}

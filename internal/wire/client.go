@@ -1,0 +1,452 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/obs"
+)
+
+// ErrClientClosed reports a Send or RequestStats on a closed client.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ClientConfig parameterizes a validator client.
+type ClientConfig struct {
+	// MaxLineBytes caps one received protocol line (default
+	// DefaultMaxLineBytes).
+	MaxLineBytes int
+	// QueueSize bounds the outgoing queue (default DefaultQueueSize).
+	// When the queue is full the oldest entry is shed and counted on
+	// Dropped() — backpressure never blocks the caller and loss is
+	// never silent.
+	QueueSize int
+	// ReconnectBase/ReconnectMax bound the redial backoff envelope
+	// (defaults DefaultReconnectBase/DefaultReconnectMax).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Seed drives the backoff jitter RNG, so a seed fully determines
+	// the redial schedule (default 1).
+	Seed int64
+	// Dial opens one connection to the service; nil selects plain TCP
+	// to the address given to DialConfig. Tests wrap the returned conn
+	// in wiretest fault injectors here.
+	Dial func() (net.Conn, error)
+	// Sleep waits between redial attempts; nil selects the real-time
+	// sleeper. Tests inject one to record and collapse the schedule.
+	Sleep func(d time.Duration, cancel <-chan struct{}) bool
+	// WriteTimeout bounds one send so a stalled server surfaces as a
+	// reconnect instead of a wedged writer (default DefaultWriteTimeout;
+	// negative disables).
+	WriteTimeout time.Duration
+	// Metrics optionally publishes the jury_wire_client_* families.
+	Metrics *obs.Registry
+	// OnResult observes pushed validation results.
+	OnResult func(core.Result)
+	// OnStats observes stats replies.
+	OnStats func(Stats)
+}
+
+func (cfg *ClientConfig) fillDefaults() {
+	if cfg.MaxLineBytes == 0 {
+		cfg.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = DefaultReconnectBase
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = DefaultReconnectMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = defaultSleep
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+}
+
+// clientMetrics are the client-side lifecycle families.
+type clientMetrics struct {
+	dropped     *obs.Counter
+	reconnects  *obs.Counter
+	dialErrors  *obs.Counter
+	disconnects *obs.Counter
+	lineErrors  *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	if reg == nil {
+		return &clientMetrics{
+			dropped:     &obs.Counter{},
+			reconnects:  &obs.Counter{},
+			dialErrors:  &obs.Counter{},
+			disconnects: &obs.Counter{},
+			lineErrors:  &obs.Counter{},
+		}
+	}
+	return &clientMetrics{
+		dropped: reg.Counter("jury_wire_client_dropped_total",
+			"Outgoing envelopes shed by the bounded queue or abandoned at Close."),
+		reconnects: reg.Counter("jury_wire_client_reconnects_total",
+			"Successful re-dials after a lost connection."),
+		dialErrors: reg.Counter("jury_wire_client_dial_errors_total",
+			"Failed dial attempts (each backed off)."),
+		disconnects: reg.Counter("jury_wire_client_disconnects_total",
+			"Established connections lost."),
+		lineErrors: reg.Counter("jury_wire_client_line_errors_total",
+			"Received lines rejected (oversized or malformed)."),
+	}
+}
+
+// Client streams responses to a validator service and receives results.
+// Sends enqueue into a bounded queue drained by a single writer
+// goroutine that owns the connection: when the link drops, the writer
+// re-dials with exponential backoff and seeded jitter, and the envelope
+// being written when the link died is retransmitted first. A juryd
+// restart mid-run therefore loses at most the bounded backlog, and every
+// shed envelope is visible on Dropped().
+type Client struct {
+	cfg  ClientConfig
+	addr string
+	m    *clientMetrics
+
+	// OnResult observes pushed validation results (set before the first
+	// response can arrive; ClientConfig.OnResult takes precedence).
+	OnResult func(core.Result)
+	// OnStats observes stats replies (same setting discipline).
+	OnStats func(Stats)
+
+	mu        sync.Mutex
+	queue     []Envelope    // guarded by mu
+	inflight  *Envelope     // guarded by mu
+	pongs     int           // guarded by mu
+	conn      net.Conn      // guarded by mu
+	enc       *json.Encoder // guarded by mu
+	connected bool          // guarded by mu
+	closed    bool          // guarded by mu
+
+	kick chan struct{}
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// Dial connects to a validator service with default resilience settings.
+// The first dial is synchronous (a bad address fails fast); afterwards
+// the client re-dials transparently whenever the link drops.
+func Dial(addr string) (*Client, error) {
+	return DialConfig(addr, ClientConfig{})
+}
+
+// DialConfig connects to a validator service. See Dial.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fillDefaults()
+	c := &Client{
+		cfg:  cfg,
+		addr: addr,
+		m:    newClientMetrics(cfg.Metrics),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	c.conn = conn                 //jurylint:allow guardedby -- construction: c is not shared yet
+	c.enc = json.NewEncoder(conn) //jurylint:allow guardedby -- construction: c is not shared yet
+	c.connected = true            //jurylint:allow guardedby -- construction: c is not shared yet
+	c.done.Add(2)
+	go c.readLoop(conn)
+	go c.writeLoop()
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial()
+	}
+	return net.Dial("tcp", c.addr)
+}
+
+// Send streams one response to the validator. It never blocks on the
+// network: the response is queued and the call only fails once the
+// client is closed. A full queue sheds its oldest entry (counted on
+// Dropped()).
+func (c *Client) Send(r core.Response) error {
+	return c.enqueue(Envelope{Type: TypeResponse, Response: &r})
+}
+
+// RequestStats asks the server for a stats snapshot (delivered to
+// OnStats). Queued like Send.
+func (c *Client) RequestStats() error {
+	return c.enqueue(Envelope{Type: TypeStats})
+}
+
+func (c *Client) enqueue(env Envelope) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	if len(c.queue) >= c.cfg.QueueSize {
+		c.queue = c.queue[1:] // shed oldest: fresh state beats stale state
+		c.m.dropped.Inc()
+	}
+	c.queue = append(c.queue, env)
+	c.mu.Unlock()
+	c.kickWriter()
+	return nil
+}
+
+func (c *Client) kickWriter() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Dropped returns the number of outgoing envelopes lost to queue
+// shedding or abandoned unsent at Close — the client's loss is always
+// accounted, never silent.
+func (c *Client) Dropped() int64 { return c.m.dropped.Value() }
+
+// Reconnects returns the number of successful re-dials after the
+// initial connection.
+func (c *Client) Reconnects() int64 { return c.m.reconnects.Value() }
+
+// Connected reports whether the client currently holds an established
+// connection.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connected
+}
+
+// Backlog returns the number of envelopes queued but not yet written.
+func (c *Client) Backlog() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.queue) + c.pongs
+	if c.inflight != nil {
+		n++
+	}
+	return n
+}
+
+// Close closes the connection, stops the writer and reader, and counts
+// any still-undelivered envelopes as dropped. Safe to call more than
+// once.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.connected = false
+	undelivered := int64(len(c.queue))
+	if c.inflight != nil {
+		undelivered++
+	}
+	c.queue = nil
+	c.inflight = nil
+	c.mu.Unlock()
+	if undelivered > 0 {
+		c.m.dropped.Add(undelivered)
+	}
+	close(c.stop)
+	if conn != nil {
+		_ = conn.Close()
+	}
+	c.done.Wait()
+	return nil
+}
+
+// writeLoop is the single owner of the outgoing side: it drains the
+// queue onto the current connection, and when the link is down it
+// re-dials on the backoff schedule. Heartbeat pongs jump the queue so a
+// backlogged client still proves liveness.
+func (c *Client) writeLoop() {
+	defer c.done.Done()
+	bo := NewBackoff(c.cfg.ReconnectBase, c.cfg.ReconnectMax, c.cfg.Seed)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		conn, enc := c.conn, c.enc
+		var env *Envelope
+		if conn != nil {
+			env = c.takeLocked()
+		}
+		c.mu.Unlock()
+
+		switch {
+		case conn == nil:
+			if !c.redial(bo) {
+				return
+			}
+		case env == nil:
+			select {
+			case <-c.stop:
+				return
+			case <-c.kick:
+			}
+		default:
+			armWriteDeadline(conn, c.cfg.WriteTimeout)
+			if err := enc.Encode(*env); err != nil {
+				// The in-flight envelope is retained and retried after
+				// the reconnect; only queue shedding loses data.
+				c.dropLink(conn)
+				continue
+			}
+			c.mu.Lock()
+			c.inflight = nil
+			c.mu.Unlock()
+		}
+	}
+}
+
+// takeLocked picks the next envelope to write: a retained in-flight
+// envelope first, then pending heartbeat pongs, then the queue head
+// (which moves to in-flight until its write succeeds). Runs with c.mu
+// held.
+//
+//jurylint:allow guardedby -- caller holds c.mu
+func (c *Client) takeLocked() *Envelope {
+	if c.inflight != nil {
+		return c.inflight
+	}
+	if c.pongs > 0 {
+		c.pongs--
+		return &Envelope{Type: TypePong}
+	}
+	if len(c.queue) > 0 {
+		env := c.queue[0]
+		c.queue = c.queue[1:]
+		c.inflight = &env
+		return c.inflight
+	}
+	return nil
+}
+
+// redial re-establishes the connection on the backoff schedule. Returns
+// false once the client closes.
+func (c *Client) redial(bo *Backoff) bool {
+	for {
+		select {
+		case <-c.stop:
+			return false
+		default:
+		}
+		conn, err := c.dial()
+		if err != nil {
+			c.m.dialErrors.Inc()
+			if !c.cfg.Sleep(bo.Next(), c.stop) {
+				return false
+			}
+			continue
+		}
+		bo.Reset()
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return false
+		}
+		c.conn = conn
+		c.enc = json.NewEncoder(conn)
+		c.connected = true
+		c.mu.Unlock()
+		c.m.reconnects.Inc()
+		c.done.Add(1)
+		go c.readLoop(conn)
+		return true
+	}
+}
+
+// dropLink tears down one connection and, unless the client is closing,
+// kicks the writer into its redial loop. Called by both the writer (on
+// write errors) and the reader (on read errors), so a dead link is
+// noticed even when nothing is being sent.
+func (c *Client) dropLink(conn net.Conn) {
+	_ = conn.Close()
+	c.mu.Lock()
+	lost := false
+	if c.conn == conn {
+		c.conn, c.enc = nil, nil
+		c.connected = false
+		lost = !c.closed
+	}
+	c.mu.Unlock()
+	if lost {
+		c.m.disconnects.Inc()
+		c.kickWriter()
+	}
+}
+
+// readLoop reads pushed results, stats replies and heartbeat pings from
+// one connection until it dies.
+func (c *Client) readLoop(conn net.Conn) {
+	defer c.done.Done()
+	defer c.dropLink(conn)
+	lr := NewLineReader(conn, c.cfg.MaxLineBytes)
+	for {
+		line, err := lr.ReadLine()
+		if err != nil {
+			if errors.Is(err, ErrLineTooLong) {
+				c.m.lineErrors.Inc()
+				continue
+			}
+			return
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var env Envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			c.m.lineErrors.Inc()
+			continue
+		}
+		switch env.Type {
+		case TypeResult:
+			if cb := c.onResult(); env.Result != nil && cb != nil {
+				cb(*env.Result)
+			}
+		case TypeStats:
+			if cb := c.onStats(); env.Stats != nil && cb != nil {
+				cb(*env.Stats)
+			}
+		case TypePing:
+			c.mu.Lock()
+			c.pongs++
+			c.mu.Unlock()
+			c.kickWriter()
+		}
+	}
+}
+
+func (c *Client) onResult() func(core.Result) {
+	if c.cfg.OnResult != nil {
+		return c.cfg.OnResult
+	}
+	return c.OnResult
+}
+
+func (c *Client) onStats() func(Stats) {
+	if c.cfg.OnStats != nil {
+		return c.cfg.OnStats
+	}
+	return c.OnStats
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+)
+
+// ErrLineTooLong reports a protocol line whose payload exceeded the
+// reader's MaxLineBytes cap. The oversized line is consumed, so the
+// stream stays usable: callers count the error and keep reading.
+var ErrLineTooLong = errors.New("wire: line exceeds MaxLineBytes")
+
+// LineReader frames newline-delimited protocol lines with an explicit
+// size cap. It replaces the bare bufio.Scanner loop whose buffer
+// overflow (or any read error) silently ended the stream: here every
+// failure surfaces as a distinct error per call.
+//
+//   - A line within the cap is returned with its trailing newline (and
+//     optional carriage return) stripped.
+//   - A line over the cap is discarded up to its newline and reported as
+//     ErrLineTooLong; the next call continues with the following line.
+//   - A final unterminated line at EOF is returned as a normal line; the
+//     next call reports io.EOF.
+type LineReader struct {
+	r   *bufio.Reader
+	max int
+}
+
+// NewLineReader frames r with a max payload of max bytes per line
+// (excluding the line terminator). max <= 0 selects DefaultMaxLineBytes.
+func NewLineReader(r io.Reader, max int) *LineReader {
+	if max <= 0 {
+		max = DefaultMaxLineBytes
+	}
+	size := 64 * 1024
+	if max < size {
+		size = max + 1
+	}
+	if size < 16 {
+		size = 16
+	}
+	return &LineReader{r: bufio.NewReaderSize(r, size), max: max}
+}
+
+// ReadLine returns the next line. Errors are per line, not per stream:
+// after ErrLineTooLong the reader is positioned at the next line.
+func (lr *LineReader) ReadLine() ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := lr.r.ReadSlice('\n')
+		line = append(line, chunk...)
+		switch {
+		case err == nil:
+			if len(trimEOL(line)) > lr.max {
+				return nil, ErrLineTooLong
+			}
+			return trimEOL(line), nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			if len(line) > lr.max {
+				return nil, lr.discardRest()
+			}
+		case errors.Is(err, io.EOF) && len(line) > 0:
+			// Final unterminated line: deliver it; EOF surfaces on the
+			// next call.
+			if len(trimEOL(line)) > lr.max {
+				return nil, ErrLineTooLong
+			}
+			return trimEOL(line), nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+// discardRest consumes the remainder of an oversized line so the next
+// ReadLine starts cleanly, then reports ErrLineTooLong. A read error
+// while discarding is deferred to the next call.
+func (lr *LineReader) discardRest() error {
+	for {
+		_, err := lr.r.ReadSlice('\n')
+		switch {
+		case err == nil, errors.Is(err, io.EOF):
+			return ErrLineTooLong
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		default:
+			return ErrLineTooLong
+		}
+	}
+}
+
+// trimEOL strips one trailing "\n" or "\r\n".
+func trimEOL(line []byte) []byte {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	return bytes.TrimSuffix(line, []byte("\r"))
+}

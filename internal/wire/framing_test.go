@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLineReaderBasicLines(t *testing.T) {
+	lr := NewLineReader(strings.NewReader("one\ntwo\r\n\nthree"), 64)
+	want := []string{"one", "two", "", "three"}
+	for _, w := range want {
+		line, err := lr.ReadLine()
+		if err != nil {
+			t.Fatalf("ReadLine(%q): %v", w, err)
+		}
+		if string(line) != w {
+			t.Fatalf("line = %q, want %q", line, w)
+		}
+	}
+	if _, err := lr.ReadLine(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestLineReaderOversizedLineIsSkippedNotFatal(t *testing.T) {
+	big := strings.Repeat("x", 300)
+	lr := NewLineReader(strings.NewReader("ok\n"+big+"\nafter\n"), 100)
+	if line, err := lr.ReadLine(); err != nil || string(line) != "ok" {
+		t.Fatalf("first = %q, %v", line, err)
+	}
+	if _, err := lr.ReadLine(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("expected ErrLineTooLong, got %v", err)
+	}
+	// The stream continues at the next line: the oversized one was
+	// consumed, not left to poison subsequent reads.
+	if line, err := lr.ReadLine(); err != nil || string(line) != "after" {
+		t.Fatalf("after = %q, %v", line, err)
+	}
+}
+
+func TestLineReaderOversizedSpansManyBuffers(t *testing.T) {
+	// Line far larger than the internal buffer: the discard loop must
+	// walk multiple buffer fills.
+	big := strings.Repeat("y", 1<<18)
+	lr := NewLineReader(strings.NewReader(big+"\nnext\n"), 1024)
+	if _, err := lr.ReadLine(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("expected ErrLineTooLong, got %v", err)
+	}
+	if line, err := lr.ReadLine(); err != nil || string(line) != "next" {
+		t.Fatalf("next = %q, %v", line, err)
+	}
+}
+
+func TestLineReaderFinalUnterminatedLine(t *testing.T) {
+	lr := NewLineReader(strings.NewReader("partial"), 64)
+	line, err := lr.ReadLine()
+	if err != nil || string(line) != "partial" {
+		t.Fatalf("line = %q, %v", line, err)
+	}
+	if _, err := lr.ReadLine(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestLineReaderExactCap(t *testing.T) {
+	payload := strings.Repeat("z", 100)
+	lr := NewLineReader(strings.NewReader(payload+"\n"), 100)
+	line, err := lr.ReadLine()
+	if err != nil || string(line) != payload {
+		t.Fatalf("exact-cap line rejected: %q, %v", line, err)
+	}
+	lr = NewLineReader(strings.NewReader(payload+"q\n"), 100)
+	if _, err := lr.ReadLine(); !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("cap+1 accepted: %v", err)
+	}
+}
+
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) > 0 {
+		n := copy(p, r.data)
+		r.data = r.data[n:]
+		return n, nil
+	}
+	return 0, r.err
+}
+
+func TestLineReaderSurfacesReadErrors(t *testing.T) {
+	boom := errors.New("boom")
+	lr := NewLineReader(&errReader{data: []byte("good\nbad"), err: boom}, 64)
+	if line, err := lr.ReadLine(); err != nil || string(line) != "good" {
+		t.Fatalf("good = %q, %v", line, err)
+	}
+	// The truncated tail is dropped (it cannot be a complete line) and
+	// the underlying error surfaces — never a silent end of stream.
+	if _, err := lr.ReadLine(); !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+}
+
+func TestLineReaderLargeLineWithinCap(t *testing.T) {
+	// Larger than the 64KiB internal buffer but within the cap: must be
+	// reassembled across buffer fills.
+	payload := bytes.Repeat([]byte("a"), 200*1024)
+	lr := NewLineReader(bytes.NewReader(append(payload, '\n')), DefaultMaxLineBytes)
+	line, err := lr.ReadLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, payload) {
+		t.Fatalf("reassembled line corrupted: len=%d want %d", len(line), len(payload))
+	}
+}

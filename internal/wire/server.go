@@ -1,0 +1,487 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/obs"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+)
+
+// ServerConfig parameterizes a validator service.
+type ServerConfig struct {
+	// Validator carries K, timeout, adaptive settings.
+	Validator core.ValidatorConfig
+	// Members lists the controller IDs of the deployment; mastership is
+	// not tracked over the wire, so sanity checks fall back to "any
+	// alive controller" semantics.
+	Members []store.NodeID
+	// Switches lists known datapaths for the membership map.
+	Switches []topo.DPID
+	// AlarmsOnly pushes only fault results to clients (default: all
+	// results are pushed).
+	AlarmsOnly bool
+	// Tick is the wall-clock granularity at which validator timers fire
+	// (default 5ms).
+	Tick time.Duration
+	// Clock supplies real time for the tick loop and heartbeat
+	// bookkeeping; nil selects the host wall clock. Tests inject a fake
+	// clock to drive the service deterministically.
+	Clock func() time.Time
+
+	// MaxLineBytes caps one protocol line (default DefaultMaxLineBytes).
+	// Oversized lines are rejected and counted without killing the
+	// connection.
+	MaxLineBytes int
+	// HeartbeatEvery probes idle connections with TypePing (default
+	// DefaultHeartbeatEvery; negative disables heartbeats and reaping).
+	HeartbeatEvery time.Duration
+	// IdleTimeout reaps connections idle past this horizon — half-open
+	// TCP peers that answer no pings (default DefaultIdleTimeout;
+	// negative disables reaping).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one push write so a stalled peer cannot wedge
+	// the event loop (default DefaultWriteTimeout; negative disables).
+	WriteTimeout time.Duration
+	// Metrics is the registry for the connection-lifecycle metric
+	// families (jury_wire_*); nil shares the validator's registry, so
+	// juryd's /metrics page carries them with no extra wiring.
+	Metrics *obs.Registry
+	// Sleep waits between Accept retries; nil selects the real-time
+	// sleeper. Tests inject one to pin the backoff schedule.
+	Sleep func(d time.Duration, cancel <-chan struct{}) bool
+}
+
+func (cfg *ServerConfig) fillDefaults() {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now //jurylint:allow wallclock -- default clock at the real-time boundary
+	}
+	if cfg.MaxLineBytes == 0 {
+		cfg.MaxLineBytes = DefaultMaxLineBytes
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = defaultSleep
+	}
+}
+
+// serverMetrics are the connection-lifecycle families the server
+// publishes. Counters and gauges are atomics, so the exposition
+// goroutine can scrape them while connections churn.
+type serverMetrics struct {
+	open          *obs.Gauge
+	accepted      *obs.Counter
+	acceptErrors  *obs.Counter
+	responses     *obs.Counter
+	oversized     *obs.Counter
+	malformed     *obs.Counter
+	readErrors    *obs.Counter
+	pushErrors    *obs.Counter
+	reapedIdle    *obs.Counter
+	pingsSent     *obs.Counter
+	pongsReceived *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	lineErr := func(reason string) *obs.Counter {
+		return reg.Counter("jury_wire_line_errors_total",
+			"Protocol lines rejected or connections lost, by reason.",
+			obs.L("reason", reason))
+	}
+	return &serverMetrics{
+		open: reg.Gauge("jury_wire_conns_open",
+			"Client connections currently registered."),
+		accepted: reg.Counter("jury_wire_conns_accepted_total",
+			"Client connections accepted."),
+		acceptErrors: reg.Counter("jury_wire_accept_errors_total",
+			"Accept failures (backed off, never hot-spun)."),
+		responses: reg.Counter("jury_wire_responses_total",
+			"Controller responses received over the wire."),
+		oversized:  lineErr("oversize"),
+		malformed:  lineErr("malformed"),
+		readErrors: lineErr("read"),
+		pushErrors: reg.Counter("jury_wire_push_errors_total",
+			"Result/ping/stats writes that failed and dropped the connection."),
+		reapedIdle: reg.Counter("jury_wire_conns_reaped_idle_total",
+			"Half-open connections reaped by the idle-timeout heartbeat."),
+		pingsSent: reg.Counter("jury_wire_pings_sent_total",
+			"Heartbeat pings sent to idle connections."),
+		pongsReceived: reg.Counter("jury_wire_pongs_received_total",
+			"Heartbeat pongs received."),
+	}
+}
+
+// srvConn is one registered client connection.
+type srvConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	// lastSeen is the clock reading of the last received line; lastPing
+	// is when the last heartbeat probe went out. Both are protected by
+	// the server's mu.
+	lastSeen time.Time // guarded by mu
+	lastPing time.Time // guarded by mu
+}
+
+// Server hosts a validator behind a TCP listener.
+type Server struct {
+	ln  net.Listener
+	cfg ServerConfig
+	m   *serverMetrics
+
+	mu        sync.Mutex
+	eng       *simnet.Engine  // guarded by mu
+	validator *core.Validator // guarded by mu
+	started   time.Time
+	conns     map[net.Conn]*srvConn // guarded by mu
+	closed    bool                  // guarded by mu
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	done      sync.WaitGroup
+}
+
+// Serve starts a validator service on addr ("127.0.0.1:0" for an ephemeral
+// port). The returned server owns background goroutines; call Close.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("wire: no cluster members configured")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	return ServeListener(ln, cfg)
+}
+
+// ServeListener starts a validator service on an existing listener,
+// taking ownership of it. Tests use it to inject fault-wrapped
+// listeners.
+func ServeListener(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	cfg.fillDefaults()
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("wire: no cluster members configured")
+	}
+	eng := simnet.NewEngine(0)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster, cfg.Members, cfg.Switches)
+	s := &Server{
+		ln:        ln,
+		cfg:       cfg,
+		eng:       eng,
+		validator: core.NewValidator(eng, members, cfg.Validator),
+		started:   cfg.Clock(),
+		conns:     make(map[net.Conn]*srvConn),
+		stop:      make(chan struct{}),
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = s.validator.Metrics() //jurylint:allow guardedby -- construction: s is not shared yet
+	}
+	s.m = newServerMetrics(reg)
+	s.validator.OnResult = s.broadcast //jurylint:allow guardedby -- construction: s is not shared yet
+	s.done.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a snapshot of the validator counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Decided:  s.validator.Decided(),
+		Valid:    s.validator.Valid(),
+		Faults:   s.validator.Faults(),
+		Timeouts: s.validator.Timeouts(),
+		Pending:  s.validator.Pending(),
+	}
+}
+
+// WriteMetrics renders the validator's metrics registry in Prometheus
+// text format under the server lock, serializing the scrape against the
+// event loop (the registry wraps distributions the validator mutates, so
+// an unlocked scrape would race with decisions). Pass it as the Write
+// hook of an obs exposition endpoint. When ServerConfig.Metrics was nil,
+// the page includes the jury_wire_* connection-lifecycle families.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validator.Metrics().WritePrometheus(w)
+}
+
+// Alarms returns the validator's retained alarms.
+func (s *Server) Alarms() []core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validator.Alarms()
+}
+
+// Close stops the service and waits for its goroutines. Safe to call
+// more than once. The closed flag flips under mu before the connection
+// sweep, so a connection accepted concurrently can never be registered
+// after the sweep and leak a blocked reader past Close.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		conns := make([]net.Conn, 0, len(s.conns))
+		for conn := range s.conns {
+			conns = append(conns, conn)
+		}
+		s.mu.Unlock()
+		close(s.stop)
+		err = s.ln.Close()
+		for _, conn := range conns {
+			_ = conn.Close()
+		}
+		s.done.Wait()
+	})
+	return err
+}
+
+// acceptLoop accepts connections until the listener closes. Persistent
+// Accept errors (EMFILE, ENFILE, ECONNABORTED storms) back off on a
+// capped exponential schedule that resets on the next success, instead
+// of hot-spinning on a core.
+func (s *Server) acceptLoop() {
+	defer s.done.Done()
+	bo := NewBackoff(acceptBackoffBase, acceptBackoffMax, 1)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.m.acceptErrors.Inc()
+			if !s.cfg.Sleep(bo.Next(), s.stop) {
+				return
+			}
+			continue
+		}
+		bo.Reset()
+		sc := &srvConn{conn: conn, enc: json.NewEncoder(conn)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		now := s.cfg.Clock()
+		sc.lastSeen = now
+		sc.lastPing = now
+		s.conns[conn] = sc
+		s.mu.Unlock()
+		s.m.accepted.Inc()
+		s.m.open.Add(1)
+		s.done.Add(1)
+		go s.serveConn(sc)
+	}
+}
+
+// tickLoop advances the validator's virtual clock with wall time so
+// per-trigger timers expire, and runs the heartbeat sweep.
+func (s *Server) tickLoop() {
+	defer s.done.Done()
+	ticker := time.NewTicker(s.cfg.Tick) //jurylint:allow wallclock -- real-time service cadence
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			s.advance()
+			s.heartbeatSweep()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// advance runs the validator engine up to the current elapsed clock time.
+// Run's error is deliberately dropped: ErrStopped and event-budget
+// overruns are benign for a live service that ticks again shortly.
+//
+//jurylint:allow guardedby,errcrit -- runs with s.mu held; see above
+func (s *Server) advance() {
+	_ = s.eng.Run(s.cfg.Clock().Sub(s.started))
+}
+
+// heartbeatSweep pings idle connections and reaps half-open peers whose
+// idle time passed IdleTimeout (a dead TCP peer never answers, so its
+// lastSeen stops moving). Runs with s.mu held from the tick loop.
+//
+//jurylint:allow guardedby -- runs with s.mu held; see above
+func (s *Server) heartbeatSweep() {
+	if s.cfg.HeartbeatEvery <= 0 {
+		return
+	}
+	now := s.cfg.Clock()
+	for conn, sc := range s.conns {
+		idle := now.Sub(sc.lastSeen)
+		if s.cfg.IdleTimeout > 0 && idle >= s.cfg.IdleTimeout {
+			s.m.reapedIdle.Inc()
+			s.dropConnLocked(conn)
+			continue
+		}
+		if idle >= s.cfg.HeartbeatEvery && now.Sub(sc.lastPing) >= s.cfg.HeartbeatEvery {
+			sc.lastPing = now
+			s.m.pingsSent.Inc()
+			s.pushLocked(conn, sc, Envelope{Type: TypePing})
+		}
+	}
+}
+
+// pushLocked encodes one envelope to a registered connection under a
+// write deadline; a failed or timed-out write drops the connection. Runs
+// with s.mu held.
+//
+//jurylint:allow guardedby -- runs with s.mu held; callers own the sweep
+func (s *Server) pushLocked(conn net.Conn, sc *srvConn, env Envelope) {
+	armWriteDeadline(conn, s.cfg.WriteTimeout)
+	if err := sc.enc.Encode(env); err != nil {
+		s.m.pushErrors.Inc()
+		s.dropConnLocked(conn)
+	}
+}
+
+// dropConnLocked closes and unregisters one connection. Runs with s.mu
+// held; the connection's reader observes the close and exits.
+//
+//jurylint:allow guardedby -- runs with s.mu held
+func (s *Server) dropConnLocked(conn net.Conn) {
+	if _, ok := s.conns[conn]; !ok {
+		return
+	}
+	delete(s.conns, conn)
+	s.m.open.Add(-1)
+	_ = conn.Close()
+}
+
+// serveConn reads protocol lines until the connection dies. Framing and
+// decode failures are counted per reason and never silent: an oversized
+// line is skipped, a malformed line is tolerated, and a genuine read
+// error surfaces in jury_wire_line_errors_total{reason="read"} before
+// the connection is torn down.
+func (s *Server) serveConn(sc *srvConn) {
+	defer s.done.Done()
+	defer func() {
+		s.mu.Lock()
+		s.dropConnLocked(sc.conn)
+		s.mu.Unlock()
+	}()
+	lr := NewLineReader(sc.conn, s.cfg.MaxLineBytes)
+	for {
+		line, err := lr.ReadLine()
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrLineTooLong):
+				s.m.oversized.Inc()
+				s.touch(sc)
+				continue
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				return // clean close, or dropped by Close/sweep
+			default:
+				s.m.readErrors.Inc()
+				return
+			}
+		}
+		s.touch(sc)
+		if len(line) == 0 {
+			continue
+		}
+		var env Envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			s.m.malformed.Inc()
+			continue // tolerate malformed lines from misbehaving peers
+		}
+		switch env.Type {
+		case TypeResponse:
+			if env.Response == nil {
+				continue
+			}
+			s.m.responses.Inc()
+			s.mu.Lock()
+			s.advance()
+			s.validator.Submit(*env.Response)
+			s.mu.Unlock()
+		case TypeStats:
+			st := s.Stats()
+			s.mu.Lock()
+			if cur, ok := s.conns[sc.conn]; ok {
+				s.pushLocked(sc.conn, cur, Envelope{Type: TypeStats, Stats: &st})
+			}
+			s.mu.Unlock()
+		case TypePing:
+			s.mu.Lock()
+			if cur, ok := s.conns[sc.conn]; ok {
+				s.pushLocked(sc.conn, cur, Envelope{Type: TypePong})
+			}
+			s.mu.Unlock()
+		case TypePong:
+			s.m.pongsReceived.Inc()
+		}
+	}
+}
+
+// touch records liveness for the heartbeat sweep.
+func (s *Server) touch(sc *srvConn) {
+	s.mu.Lock()
+	sc.lastSeen = s.cfg.Clock()
+	s.mu.Unlock()
+}
+
+// broadcast pushes a result to every connected client; a client whose
+// write fails is dropped from the registry so later broadcasts stop
+// encoding to a dead peer. Runs with s.mu held (validator decisions
+// happen inside Submit/tick).
+//
+//jurylint:allow guardedby -- caller holds s.mu; see above
+func (s *Server) broadcast(r core.Result) {
+	if s.cfg.AlarmsOnly && r.Verdict != core.VerdictFault {
+		return
+	}
+	env := Envelope{Type: TypeResult, Result: &r}
+	for conn, sc := range s.conns {
+		s.pushLocked(conn, sc, env)
+	}
+}
+
+// armWriteDeadline bounds the next write on conn. Socket deadlines are
+// kernel-absolute, so this is a real-time boundary even when the service
+// clock is injected.
+//
+//jurylint:allow wallclock -- socket deadlines are inherently wall-clock
+func armWriteDeadline(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(d))
+	}
+}

@@ -4,22 +4,35 @@
 // deployment shape of Fig. 2 — the validator on a separate host reachable
 // over an out-of-band network — whereas the simulation embeds the
 // validator in-process.
+//
+// The bridge is built to degrade loudly, never silently, when the network
+// misbehaves:
+//
+//   - Framing is explicit: lines are read through a LineReader with a
+//     configurable MaxLineBytes cap. An oversized or malformed line is
+//     rejected and counted (per reason, on the obs registry) without
+//     killing the connection; genuine read errors are counted before the
+//     connection dies.
+//   - The Client reconnects: sends go through a bounded outgoing queue
+//     with shed-oldest backpressure and a Dropped() counter, and a single
+//     writer goroutine re-dials with exponential backoff and seeded
+//     jitter whenever the link drops, so a validator restart mid-run
+//     loses at most the bounded backlog — and that loss is visible.
+//   - The Server backs off on persistent Accept errors, refuses to leak
+//     connections past Close, and reaps half-open peers with
+//     TypePing/TypePong heartbeats on idle connections.
+//
+// Wall-clock reads are confined to annotated boundary code (the default
+// ServerConfig.Clock, the default backoff sleeper, and socket write
+// deadlines); tests inject clocks, sleepers and dialers so every failure
+// schedule is deterministic. Package wiretest provides fault-injecting
+// net.Conn wrappers to prove the above under the race detector.
 package wire
 
 import (
-	"bufio"
-	"encoding/json"
-	"fmt"
-	"io"
-	"net"
-	"sync"
 	"time"
 
-	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/core"
-	"github.com/jurysdn/jury/internal/simnet"
-	"github.com/jurysdn/jury/internal/store"
-	"github.com/jurysdn/jury/internal/topo"
 )
 
 // MsgType discriminates protocol envelopes.
@@ -33,6 +46,12 @@ const (
 	TypeResult MsgType = "result"
 	// TypeStats carries aggregate counters on request.
 	TypeStats MsgType = "stats"
+	// TypePing is a server-initiated heartbeat probe on an idle
+	// connection; peers answer with TypePong. Any received line counts
+	// as liveness, so a busy connection is never probed.
+	TypePing MsgType = "ping"
+	// TypePong answers a TypePing.
+	TypePong MsgType = "pong"
 )
 
 // Envelope is one JSON line on the wire.
@@ -52,282 +71,48 @@ type Stats struct {
 	Pending  int   `json:"pending"`
 }
 
-// ServerConfig parameterizes a validator service.
-type ServerConfig struct {
-	// Validator carries K, timeout, adaptive settings.
-	Validator core.ValidatorConfig
-	// Members lists the controller IDs of the deployment; mastership is
-	// not tracked over the wire, so sanity checks fall back to "any
-	// alive controller" semantics.
-	Members []store.NodeID
-	// Switches lists known datapaths for the membership map.
-	Switches []topo.DPID
-	// AlarmsOnly pushes only fault results to clients (default: all
-	// results are pushed).
-	AlarmsOnly bool
-	// Tick is the wall-clock granularity at which validator timers fire
-	// (default 5ms).
-	Tick time.Duration
-	// Clock supplies real time for the tick loop; nil selects the host
-	// wall clock. Tests inject a fake clock to drive the service
-	// deterministically.
-	Clock func() time.Time
-}
+// Tunables shared by both ends of the bridge. Zero values in the configs
+// select these defaults; negative values disable the knob where
+// disabling is meaningful.
+const (
+	// DefaultMaxLineBytes caps one protocol line (payload, excluding the
+	// newline).
+	DefaultMaxLineBytes = 1 << 20
+	// DefaultHeartbeatEvery is how long a server connection may sit idle
+	// before it is probed with a TypePing.
+	DefaultHeartbeatEvery = 15 * time.Second
+	// DefaultIdleTimeout is how long a server connection may sit idle
+	// (no lines received, pings unanswered) before it is reaped.
+	DefaultIdleTimeout = 60 * time.Second
+	// DefaultWriteTimeout bounds one result/ping/stats write so a
+	// stalled peer cannot wedge the event loop.
+	DefaultWriteTimeout = 10 * time.Second
+	// DefaultQueueSize is the client's bounded outgoing queue length.
+	DefaultQueueSize = 1024
+	// DefaultReconnectBase seeds the client's redial backoff.
+	DefaultReconnectBase = 50 * time.Millisecond
+	// DefaultReconnectMax caps the client's redial backoff.
+	DefaultReconnectMax = 5 * time.Second
 
-// Server hosts a validator behind a TCP listener.
-type Server struct {
-	ln  net.Listener
-	cfg ServerConfig
+	// acceptBackoffBase/Max bound the server's Accept-error backoff
+	// (e.g. EMFILE storms must not peg a core).
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffMax  = time.Second
+)
 
-	mu        sync.Mutex
-	eng       *simnet.Engine  // guarded by mu
-	validator *core.Validator // guarded by mu
-	started   time.Time
-	conns     map[net.Conn]*json.Encoder // guarded by mu
+// sleepFunc waits for d or until cancel closes; it reports false when
+// cancelled. Both Server and Client take one so tests can collapse every
+// backoff schedule to zero wall time while recording it.
+type sleepFunc func(d time.Duration, cancel <-chan struct{}) bool
 
-	stop chan struct{}
-	done sync.WaitGroup
-}
-
-// Serve starts a validator service on addr ("127.0.0.1:0" for an ephemeral
-// port). The returned server owns background goroutines; call Close.
-func Serve(addr string, cfg ServerConfig) (*Server, error) {
-	if cfg.Tick <= 0 {
-		cfg.Tick = 5 * time.Millisecond
-	}
-	if cfg.Clock == nil {
-		cfg.Clock = time.Now //jurylint:allow wallclock -- default clock at the real-time boundary
-	}
-	if len(cfg.Members) == 0 {
-		return nil, fmt.Errorf("wire: no cluster members configured")
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: listen: %w", err)
-	}
-	eng := simnet.NewEngine(0)
-	members := cluster.NewMembership(cluster.AnyControllerOneMaster, cfg.Members, cfg.Switches)
-	s := &Server{
-		ln:        ln,
-		cfg:       cfg,
-		eng:       eng,
-		validator: core.NewValidator(eng, members, cfg.Validator),
-		started:   cfg.Clock(),
-		conns:     make(map[net.Conn]*json.Encoder),
-		stop:      make(chan struct{}),
-	}
-	s.validator.OnResult = s.broadcast //jurylint:allow guardedby -- construction: s is not shared yet
-	s.done.Add(2)
-	go s.acceptLoop()
-	go s.tickLoop()
-	return s, nil
-}
-
-// Addr returns the listener address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-// Stats returns a snapshot of the validator counters.
-func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{
-		Decided:  s.validator.Decided(),
-		Valid:    s.validator.Valid(),
-		Faults:   s.validator.Faults(),
-		Timeouts: s.validator.Timeouts(),
-		Pending:  s.validator.Pending(),
-	}
-}
-
-// WriteMetrics renders the validator's metrics registry in Prometheus
-// text format under the server lock, serializing the scrape against the
-// event loop (the registry wraps distributions the validator mutates, so
-// an unlocked scrape would race with decisions). Pass it as the Write
-// hook of an obs exposition endpoint.
-func (s *Server) WriteMetrics(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.validator.Metrics().WritePrometheus(w)
-}
-
-// Alarms returns the validator's retained alarms.
-func (s *Server) Alarms() []core.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.validator.Alarms()
-}
-
-// Close stops the service and waits for its goroutines.
-func (s *Server) Close() error {
-	close(s.stop)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for conn := range s.conns {
-		_ = conn.Close()
-	}
-	s.mu.Unlock()
-	s.done.Wait()
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.done.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.stop:
-				return
-			default:
-				continue
-			}
-		}
-		s.mu.Lock()
-		s.conns[conn] = json.NewEncoder(conn)
-		s.mu.Unlock()
-		s.done.Add(1)
-		go s.serveConn(conn)
-	}
-}
-
-// tickLoop advances the validator's virtual clock with wall time so
-// per-trigger timers expire.
-func (s *Server) tickLoop() {
-	defer s.done.Done()
-	ticker := time.NewTicker(s.cfg.Tick) //jurylint:allow wallclock -- real-time service cadence
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-ticker.C:
-			s.mu.Lock()
-			s.advance()
-			s.mu.Unlock()
-		}
-	}
-}
-
-// advance runs the validator engine up to the current elapsed clock time.
-// Run's error is deliberately dropped: ErrStopped and event-budget
-// overruns are benign for a live service that ticks again shortly.
-//
-//jurylint:allow guardedby,errcrit -- runs with s.mu held; see above
-func (s *Server) advance() {
-	_ = s.eng.Run(s.cfg.Clock().Sub(s.started))
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.done.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		_ = conn.Close()
-	}()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for scanner.Scan() {
-		var env Envelope
-		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
-			continue // tolerate malformed lines from misbehaving peers
-		}
-		switch env.Type {
-		case TypeResponse:
-			if env.Response == nil {
-				continue
-			}
-			s.mu.Lock()
-			s.advance()
-			s.validator.Submit(*env.Response)
-			s.mu.Unlock()
-		case TypeStats:
-			st := s.Stats()
-			s.mu.Lock()
-			if enc, ok := s.conns[conn]; ok {
-				_ = enc.Encode(Envelope{Type: TypeStats, Stats: &st})
-			}
-			s.mu.Unlock()
-		}
-	}
-}
-
-// broadcast pushes a result to every connected client. Runs with s.mu held
-// (validator decisions happen inside Submit/tick).
-//
-//jurylint:allow guardedby -- caller holds s.mu; see above
-func (s *Server) broadcast(r core.Result) {
-	if s.cfg.AlarmsOnly && r.Verdict != core.VerdictFault {
-		return
-	}
-	env := Envelope{Type: TypeResult, Result: &r}
-	for conn, enc := range s.conns {
-		if err := enc.Encode(env); err != nil {
-			_ = conn.Close()
-		}
-	}
-}
-
-// Client streams responses to a validator service and receives results.
-type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
-
-	// OnResult observes pushed validation results (set before Run).
-	OnResult func(core.Result)
-	// OnStats observes stats replies.
-	OnStats func(Stats)
-
-	done sync.WaitGroup
-}
-
-// Dial connects to a validator service.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial: %w", err)
-	}
-	c := &Client{conn: conn, enc: json.NewEncoder(conn)}
-	c.done.Add(1)
-	go c.readLoop()
-	return c, nil
-}
-
-// Send streams one response to the validator.
-func (c *Client) Send(r core.Response) error {
-	return c.enc.Encode(Envelope{Type: TypeResponse, Response: &r})
-}
-
-// RequestStats asks the server for a stats snapshot (delivered to OnStats).
-func (c *Client) RequestStats() error {
-	return c.enc.Encode(Envelope{Type: TypeStats})
-}
-
-// Close closes the connection and waits for the reader.
-func (c *Client) Close() error {
-	err := c.conn.Close()
-	c.done.Wait()
-	return err
-}
-
-func (c *Client) readLoop() {
-	defer c.done.Done()
-	scanner := bufio.NewScanner(c.conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for scanner.Scan() {
-		var env Envelope
-		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
-			continue
-		}
-		switch env.Type {
-		case TypeResult:
-			if env.Result != nil && c.OnResult != nil {
-				c.OnResult(*env.Result)
-			}
-		case TypeStats:
-			if env.Stats != nil && c.OnStats != nil {
-				c.OnStats(*env.Stats)
-			}
-		}
+// defaultSleep is the real-time sleeper.
+func defaultSleep(d time.Duration, cancel <-chan struct{}) bool {
+	t := time.NewTimer(d) //jurylint:allow wallclock -- real-time backoff boundary
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
 	}
 }

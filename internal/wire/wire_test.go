@@ -177,7 +177,10 @@ func TestServerToleratesGarbageLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.conn.Write([]byte("this is not json\n{\"type\":\"bogus\"}\n")); err != nil {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if _, err := conn.Write([]byte("this is not json\n{\"type\":\"bogus\"}\n")); err != nil {
 		t.Fatal(err)
 	}
 	// Still functional afterwards.

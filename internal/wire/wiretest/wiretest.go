@@ -1,0 +1,213 @@
+// Package wiretest provides fault-injecting net.Conn and net.Listener
+// wrappers for exercising the wire bridge's failure paths under the race
+// detector: partial writes, mid-line disconnects, stalls, injected
+// garbage bytes, and Accept-error storms. Everything is driven by
+// explicit calls — no timers, no randomness — so failure schedules are
+// deterministic.
+package wiretest
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrCut reports a write that hit an injected disconnect: the allowed
+// prefix went out on the real connection (possibly mid-line) and the
+// connection was closed underneath the writer.
+var ErrCut = errors.New("wiretest: connection cut by fault injection")
+
+// Conn wraps a net.Conn with injectable faults. The zero configuration
+// is transparent; faults are armed by the methods below and may be armed
+// mid-stream from another goroutine.
+type Conn struct {
+	inner net.Conn
+
+	mu       sync.Mutex
+	cutAfter int64         // guarded by mu; bytes until forced disconnect (<0: unarmed)
+	partial  int           // guarded by mu; max bytes per Write (0: unlimited)
+	stall    chan struct{} // guarded by mu; non-nil blocks IO until closed
+	garbage  []byte        // guarded by mu; bytes prepended to the read stream
+}
+
+// Wrap returns a transparent fault wrapper around inner.
+func Wrap(inner net.Conn) *Conn {
+	return &Conn{inner: inner, cutAfter: -1}
+}
+
+// CutAfter arms a mid-line disconnect: after n more written bytes the
+// underlying connection closes and writes fail with ErrCut. n=0 cuts on
+// the next write.
+func (c *Conn) CutAfter(n int64) {
+	c.mu.Lock()
+	c.cutAfter = n
+	c.mu.Unlock()
+}
+
+// PartialWrites caps every Write at max bytes, forcing callers through
+// short-write handling. max <= 0 removes the cap.
+func (c *Conn) PartialWrites(max int) {
+	c.mu.Lock()
+	c.partial = max
+	c.mu.Unlock()
+}
+
+// Stall blocks subsequent reads and writes until the returned release
+// function is called. Release is idempotent.
+func (c *Conn) Stall() (release func()) {
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.stall = ch
+	c.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(ch)
+			c.mu.Lock()
+			if c.stall == ch {
+				c.stall = nil
+			}
+			c.mu.Unlock()
+		})
+	}
+}
+
+// InjectGarbage prepends b to the read stream, as if the peer had sent
+// junk bytes before its next real data.
+func (c *Conn) InjectGarbage(b []byte) {
+	c.mu.Lock()
+	c.garbage = append(c.garbage, b...)
+	c.mu.Unlock()
+}
+
+func (c *Conn) waitStall() {
+	c.mu.Lock()
+	ch := c.stall
+	c.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.waitStall()
+	c.mu.Lock()
+	if len(c.garbage) > 0 {
+		n := copy(p, c.garbage)
+		c.garbage = c.garbage[n:]
+		c.mu.Unlock()
+		return n, nil
+	}
+	c.mu.Unlock()
+	return c.inner.Read(p)
+}
+
+// Write implements net.Conn, honoring the armed faults: a partial-write
+// cap truncates each call, and a cut budget closes the connection
+// mid-stream once exhausted.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.waitStall()
+	c.mu.Lock()
+	cut := c.cutAfter
+	partial := c.partial
+	c.mu.Unlock()
+
+	if cut == 0 {
+		_ = c.inner.Close()
+		return 0, ErrCut
+	}
+	limit := len(p)
+	if cut > 0 && int64(limit) > cut {
+		limit = int(cut)
+	}
+	if partial > 0 && limit > partial {
+		limit = partial
+	}
+	n, err := c.inner.Write(p[:limit])
+	if cut > 0 {
+		c.mu.Lock()
+		c.cutAfter -= int64(n)
+		cutNow := c.cutAfter <= 0
+		c.mu.Unlock()
+		if cutNow {
+			_ = c.inner.Close()
+			return n, ErrCut
+		}
+	}
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		// A truncated flush surfaces as io.ErrShortWrite (the io.Writer
+		// contract: short writes must carry an error), modeling a peer
+		// that took part of a line before the path failed.
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.inner.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.inner.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener and fails a scripted number of Accept
+// calls before delegating, for accept-backoff tests.
+type Listener struct {
+	net.Listener
+
+	mu       sync.Mutex
+	failures int   // guarded by mu; Accepts left to fail
+	err      error // guarded by mu
+	accepts  int   // guarded by mu; total Accept calls observed
+}
+
+// FailAccepts arms the next n Accept calls to return err.
+func (l *Listener) FailAccepts(n int, err error) {
+	l.mu.Lock()
+	l.failures = n
+	l.err = err
+	l.mu.Unlock()
+}
+
+// Accepts returns the number of Accept calls observed so far.
+func (l *Listener) Accepts() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.accepts
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	l.accepts++
+	if l.failures > 0 {
+		l.failures--
+		err := l.err
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.mu.Unlock()
+	return l.Listener.Accept()
+}
+
+// WrapListener returns a fault wrapper around inner.
+func WrapListener(inner net.Listener) *Listener {
+	return &Listener{Listener: inner}
+}

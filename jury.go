@@ -35,6 +35,7 @@ import (
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
 	"github.com/jurysdn/jury/internal/trigger"
+	"github.com/jurysdn/jury/internal/wire"
 	"github.com/jurysdn/jury/internal/workload"
 )
 
@@ -345,4 +346,38 @@ func (s *Simulation) Boot() time.Duration {
 		return s.Engine.Now() - start
 	}
 	return s.Engine.Now() - start
+}
+
+// ServeValidator runs the out-of-band validator as a standalone TCP
+// service on addr (the separate validator host of Fig. 2): controller
+// modules connect as wire clients and stream responses as JSON lines,
+// and every validation result (or only alarms) is pushed back. The
+// returned server owns background goroutines; call Close. The underlying
+// wire bridge is resilient: framing is bounded, idle peers are
+// heartbeated and reaped, and accept errors back off — see the
+// "Resilient wire bridge" section of DESIGN.md.
+func ServeValidator(addr string, cfg ValidatorServiceConfig) (*wire.Server, error) {
+	cfg = cfg.withDefaults()
+	ids := make([]store.NodeID, 0, cfg.ClusterSize)
+	for i := 1; i <= cfg.ClusterSize; i++ {
+		ids = append(ids, store.NodeID(i))
+	}
+	ds := make([]topo.DPID, 0, cfg.Switches)
+	for i := 1; i <= cfg.Switches; i++ {
+		ds = append(ds, topo.DPID(i))
+	}
+	return wire.Serve(addr, wire.ServerConfig{
+		Validator: core.ValidatorConfig{
+			K:        cfg.K,
+			Timeout:  cfg.ValidationTimeout,
+			Adaptive: cfg.AdaptiveTimeout,
+		},
+		Members:        ids,
+		Switches:       ds,
+		AlarmsOnly:     cfg.AlarmsOnly,
+		MaxLineBytes:   cfg.MaxLineBytes,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		IdleTimeout:    cfg.IdleTimeout,
+		Metrics:        cfg.Metrics,
+	})
 }
