@@ -79,7 +79,7 @@ func run() error {
 	var ticker *time.Ticker
 	var tick <-chan time.Time
 	if *statsEvery > 0 {
-		ticker = time.NewTicker(*statsEvery)
+		ticker = time.NewTicker(*statsEvery) //jurylint:allow wallclock -- live stats cadence is real time by definition
 		defer ticker.Stop()
 		tick = ticker.C
 	}

@@ -309,7 +309,11 @@ func policyTable(time.Duration) error {
 }
 
 // policyCost measures the wall-clock cost of validating one response
-// against n policies with the linear and indexed engines.
+// against n policies with the linear and indexed engines. It is the one
+// deliberate microbenchmark in the figure pipeline: §VII-B2(3) reports
+// real CPU time per policy check, so there is no virtual clock to use.
+//
+//jurylint:allow wallclock -- microbenchmark measures real CPU time (§VII-B2(3))
 func policyCost(n int) (linear, indexed time.Duration, err error) {
 	policies := syntheticPolicies(n)
 	lin, err := policy.New(policies)

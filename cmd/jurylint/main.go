@@ -5,21 +5,27 @@
 //
 // Usage:
 //
-//	jurylint [./...|import-path-suffix...]
+//	jurylint [-timing] [./...|import-path-suffix...]
 //
 // With no arguments (or `./...`) every package in the module is checked.
 // Any other argument restricts output to packages whose import path ends
-// with it. Exit status: 0 clean, 1 diagnostics reported, 2 load failure.
+// with it. -timing runs the suite one analyzer at a time and prints each
+// analyzer's wall time to stderr (diagnostics merge back into canonical
+// order, so output is identical either way). Exit status: 0 clean, 1
+// diagnostics reported, 2 load failure.
 //
-// Rules: wallclock, eventloop, guardedby, errcrit — see DESIGN.md
-// "Determinism contract & lint rules". Suppress a deliberate violation
-// with `//jurylint:allow <rule> -- justification`.
+// Rules: wallclock, eventloop, guardedby, errcrit, maprange, vclockleak,
+// errcritsync — see DESIGN.md "Determinism contract & lint rules".
+// Suppress a deliberate violation with
+// `//jurylint:allow <rule> -- justification`.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/jurysdn/jury/internal/analysis"
 )
@@ -29,6 +35,11 @@ func main() {
 }
 
 func run(args []string) int {
+	fs := flag.NewFlagSet("jurylint", flag.ContinueOnError)
+	timing := fs.Bool("timing", false, "print per-analyzer wall time to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jurylint:", err)
@@ -44,14 +55,38 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "jurylint:", err)
 		return 2
 	}
-	pkgs = filterPackages(pkgs, args)
-	diags := analysis.RunAnalyzers(pkgs, analysis.DefaultSuite(modPath))
+	pkgs = filterPackages(pkgs, fs.Args())
+	suite := analysis.DefaultSuite(modPath)
+	var diags []analysis.Diagnostic
+	if *timing {
+		diags = runTimed(pkgs, suite)
+	} else {
+		diags = analysis.RunAnalyzers(pkgs, suite)
+	}
 	if len(diags) == 0 {
 		return 0
 	}
 	fmt.Print(analysis.Format(root, diags))
 	fmt.Fprintf(os.Stderr, "jurylint: %d violation(s)\n", len(diags))
 	return 1
+}
+
+// runTimed runs the suite one analyzer at a time, printing each
+// analyzer's wall time to stderr, and merges the diagnostics back into
+// the canonical position-then-rule order, so -timing never changes the
+// reported output — only adds the per-pass cost breakdown CI logs.
+//
+//jurylint:allow wallclock -- timing instrumentation for the lint driver itself
+func runTimed(pkgs []*analysis.Package, suite []*analysis.Analyzer) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range suite {
+		start := time.Now()
+		diags = append(diags, analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})...)
+		fmt.Fprintf(os.Stderr, "jurylint: %-12s %7.1f ms\n",
+			a.Name, float64(time.Since(start).Microseconds())/1000)
+	}
+	analysis.SortDiagnostics(diags)
+	return diags
 }
 
 // filterPackages applies command-line patterns: `./...` (or nothing)

@@ -203,7 +203,7 @@ func run() error {
 
 	// Let handshakes land, seed host bindings at the controller, then
 	// push traffic through every switch.
-	time.Sleep(200 * time.Millisecond)
+	time.Sleep(200 * time.Millisecond) //jurylint:allow wallclock -- live TCP handshake settle is real time
 	ctrlPump.Do(func() {
 		for i := 1; i <= *nSwitches; i++ {
 			mac := topo.HostMAC(i)
@@ -223,13 +223,7 @@ func run() error {
 
 	// Wait for the rules to cross the wire and land in the tables.
 	want := *nSwitches * *nFlows
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if countRules(switches) >= want {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	waitUntil(5*time.Second, func() bool { return countRules(switches) >= want })
 	fmt.Println("switch   rules  packet_ins")
 	total := 0
 	for i, ls := range switches {
@@ -253,16 +247,11 @@ func run() error {
 		if err := vc.RequestStats(); err != nil {
 			log.Printf("jurylive: stats request: %v", err)
 		}
-		statsDeadline := time.Now().Add(3 * time.Second)
-		for time.Now().Before(statsDeadline) {
+		waitUntil(3*time.Second, func() bool {
 			vmu.Lock()
-			st := vStats
-			vmu.Unlock()
-			if st != nil {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
+			defer vmu.Unlock()
+			return vStats != nil
+		})
 		vmu.Lock()
 		fmt.Printf("validator: %d results received (%d alarms)\n", vResults, vAlarms)
 		if vStats != nil {
@@ -276,6 +265,23 @@ func run() error {
 			vc.Reconnects(), vc.Dropped(), vc.Backlog())
 	}
 	return nil
+}
+
+// waitUntil polls cond every 10ms until it reports true or the timeout
+// elapses, returning cond's final value. This is the harness's single
+// wall-clock boundary for readiness checks: the switches, controller and
+// validator all run over real TCP, so their settling time is real time.
+//
+//jurylint:allow wallclock -- live-harness readiness polling is wall-clock by definition
+func waitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cond()
 }
 
 func countRules(switches []*liveSwitch) int {

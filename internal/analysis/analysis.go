@@ -69,6 +69,33 @@ type Analyzer struct {
 	// final path element, matches an entry. Empty means every package.
 	Packages []string
 	Run      func(*Pass)
+	// Init, when set, runs once per RunAnalyzers call with every loaded
+	// package before the per-package Run passes. Analyzers use it to
+	// build module-wide indexes (cross-package field annotations,
+	// exported-API candidate sets) and to report module-level
+	// diagnostics that have no single home package.
+	Init func(*ModuleContext)
+}
+
+// ModuleContext carries the whole loaded module through an analyzer's
+// Init hook.
+type ModuleContext struct {
+	Pkgs []*Package
+
+	rule   string
+	report func(Diagnostic)
+}
+
+// Reportf records a module-level diagnostic at pos. Positions resolve
+// through the fileset of the package that declares them; LoadModule
+// shares one fileset across the module, so any loaded package's
+// positions work.
+func (m *ModuleContext) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	m.report(Diagnostic{
+		Pos:     fset.Position(pos),
+		Rule:    m.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 func (a *Analyzer) appliesTo(path string) bool {
@@ -88,10 +115,36 @@ func (a *Analyzer) appliesTo(path string) bool {
 // returns the rest sorted by position then rule.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	allows := make([]*allowIndex, len(pkgs))
+	for i, pkg := range pkgs {
+		allows[i] = buildAllowIndex(pkg.Fset, pkg.Files)
+	}
+	allowedAnywhere := func(rule string, pos token.Position) bool {
+		for _, idx := range allows {
+			if idx.allowed(rule, pos) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range analyzers {
+		if a.Init == nil {
+			continue
+		}
+		a.Init(&ModuleContext{
+			Pkgs: pkgs,
+			rule: a.Name,
+			report: func(d Diagnostic) {
+				if !allowedAnywhere(d.Rule, d.Pos) {
+					diags = append(diags, d)
+				}
+			},
+		})
+	}
+	for i, pkg := range pkgs {
+		allow := allows[i]
 		for _, a := range analyzers {
-			if !a.appliesTo(pkg.Path) {
+			if a.Run == nil || !a.appliesTo(pkg.Path) {
 				continue
 			}
 			pass := &Pass{
@@ -110,6 +163,15 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by position then rule — the
+// canonical driver output order. Exposed so drivers that run analyzers
+// one at a time (per-analyzer timing) can merge their outputs back into
+// the same order RunAnalyzers produces.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -123,7 +185,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // Format renders diagnostics one per line with filenames relative to

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrCritSyncConfig configures the errcritsync pass, which keeps the
+// curated errcrit critical-API list honest: every exported error-returning
+// API in the audited packages must either appear in the curated list
+// (errcrit then enforces its call sites) or carry an explicit waiver with
+// a justification. The list can therefore never silently rot as APIs are
+// added, renamed or removed.
+type ErrCritSyncConfig struct {
+	// Packages lists the import paths whose exported error-returning
+	// functions and methods are candidates. Matching follows the same
+	// rule as Analyzer.Packages: exact path or final path element.
+	Packages []string
+	// Curated is the enforced critical list (normally CriticalAPIs).
+	// Entries use (*types.Func).FullName origin form.
+	Curated []string
+	// Waived maps FullNames to a one-line justification for APIs that are
+	// deliberately not enforced (best-effort closers, constructors whose
+	// errors are always propagated by inspection, etc.).
+	Waived map[string]string
+	// Anchor names the declaration ("pkg/path.DeclName") where stale
+	// curated or waived entries — entries matching no exported API — are
+	// reported. When the anchor does not resolve in the loaded packages
+	// (fixture modules without a suite.go), stale entries are not
+	// reported.
+	Anchor string
+}
+
+// NewErrCritSync returns the analyzer that mechanically derives the
+// critical-API candidate set (exported error-returning functions and
+// methods of exported types in the audited packages) and diffs it against
+// the curated errcrit list plus the explicit waiver table. Drift fails the
+// run in both directions: a candidate in neither list must be added or
+// explicitly waived, and a curated or waived entry matching no API must be
+// removed.
+func NewErrCritSync(cfg ErrCritSyncConfig) *Analyzer {
+	return &Analyzer{
+		Name: "errcritsync",
+		Doc:  "keeps the errcrit critical-API list in sync with the module's exported error-returning APIs",
+		Init: func(m *ModuleContext) { runErrCritSync(m, cfg) },
+	}
+}
+
+type errCritCandidate struct {
+	fullName string
+	fset     *token.FileSet
+	pos      token.Pos
+}
+
+func runErrCritSync(m *ModuleContext, cfg ErrCritSyncConfig) {
+	candidates := collectErrCritCandidates(m, cfg.Packages)
+
+	known := make(map[string]bool, len(cfg.Curated)+len(cfg.Waived))
+	for _, name := range cfg.Curated {
+		known[name] = true
+	}
+	for name := range cfg.Waived {
+		known[name] = true
+	}
+
+	// Missing: an exported error-returning API in neither list. Reported
+	// at the API's own declaration so the fix is one hop away.
+	for _, c := range candidates {
+		if known[c.fullName] {
+			continue
+		}
+		m.Reportf(c.fset, c.pos,
+			"exported error-returning API %s is not in the errcrit critical list; add it to CriticalAPIs or explicitly waive it in ErrcritWaived (internal/analysis/suite.go)",
+			c.fullName)
+	}
+
+	// Stale: a curated or waived entry matching no candidate. Reported at
+	// the anchor declaration (the curated list itself) when it resolves.
+	anchorFset, anchorPos, ok := resolveAnchor(m, cfg.Anchor)
+	if !ok {
+		return
+	}
+	have := make(map[string]bool, len(candidates))
+	for _, c := range candidates {
+		have[c.fullName] = true
+	}
+	var stale []string
+	for _, name := range cfg.Curated {
+		if !have[name] {
+			stale = append(stale, name)
+		}
+	}
+	for name := range cfg.Waived {
+		if !have[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		m.Reportf(anchorFset, anchorPos,
+			"errcrit list entry %s matches no exported error-returning API in the audited packages; remove it or fix the name",
+			name)
+	}
+}
+
+// collectErrCritCandidates walks every audited package and returns the
+// exported error-returning functions and methods (receiver type must be
+// exported too), sorted by FullName for deterministic report order.
+func collectErrCritCandidates(m *ModuleContext, pkgPaths []string) []errCritCandidate {
+	matches := func(path string) bool {
+		for _, p := range pkgPaths {
+			if path == p || strings.HasSuffix(path, "/"+p) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []errCritCandidate
+	for _, pkg := range m.Pkgs {
+		if !matches(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || !lastResultIsError(sig) {
+					continue
+				}
+				if recv := sig.Recv(); recv != nil {
+					named, ok := deref(recv.Type()).(*types.Named)
+					if !ok || !named.Obj().Exported() {
+						continue
+					}
+				}
+				out = append(out, errCritCandidate{
+					fullName: fn.Origin().FullName(),
+					fset:     pkg.Fset,
+					pos:      fd.Name.Pos(),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].fullName < out[j].fullName })
+	return out
+}
+
+// resolveAnchor finds the top-level declaration named by
+// "pkg/path.DeclName" among the loaded packages: a function declaration or
+// a var/const/type spec with that name.
+func resolveAnchor(m *ModuleContext, anchor string) (*token.FileSet, token.Pos, bool) {
+	dot := strings.LastIndex(anchor, ".")
+	if dot <= 0 || dot == len(anchor)-1 {
+		return nil, token.NoPos, false
+	}
+	pkgPath, name := anchor[:dot], anchor[dot+1:]
+	for _, pkg := range m.Pkgs {
+		if pkg.Path != pkgPath {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.Name == name {
+						return pkg.Fset, d.Name.Pos(), true
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.ValueSpec:
+							for _, id := range s.Names {
+								if id.Name == name {
+									return pkg.Fset, id.Pos(), true
+								}
+							}
+						case *ast.TypeSpec:
+							if s.Name.Name == name {
+								return pkg.Fset, s.Name.Pos(), true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, token.NoPos, false
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import "testing"
+
+func TestErrCritSyncFixture(t *testing.T) {
+	runFixture(t, fixtureDir("errcritsync", "syncfix"), "syncfix",
+		NewErrCritSync(ErrCritSyncConfig{
+			Packages: []string{"syncfix"},
+			Curated:  []string{"(*syncfix.Engine).Run", "syncfix.Gone"},
+			Waived:   map[string]string{"syncfix.Helper": "fixture waiver"},
+			Anchor:   "syncfix.criticalList",
+		}))
+}
+
+// TestErrCritSyncAnchorAbsent pins the fixture-module behavior: when the
+// anchor declaration does not resolve in the loaded packages, stale
+// entries are not reported (only missing APIs are).
+func TestErrCritSyncAnchorAbsent(t *testing.T) {
+	pkg, err := LoadDir(fixtureDir("errcritsync", "syncfix"), "syncfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{
+		NewErrCritSync(ErrCritSyncConfig{
+			Packages: []string{"syncfix"},
+			Curated:  []string{"(*syncfix.Engine).Run", "syncfix.Gone"},
+			Waived: map[string]string{
+				"(*syncfix.Engine).Flush": "quiet the missing report",
+				"syncfix.Helper":          "fixture waiver",
+			},
+			Anchor: "some/other/pkg.CriticalAPIs",
+		}),
+	})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics with unresolvable anchor, got %v", diags)
+	}
+}

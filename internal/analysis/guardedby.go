@@ -2,22 +2,55 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
+	"strings"
 )
 
 var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
 
+// holdsRe matches the caller-holds assertion in a function's doc comment:
+//
+//	//jurylint:holds <mu>[,<mu>...] -- justification
+//
+// The assertion seeds the function's entry lock-set (write mode) instead
+// of silencing diagnostics wholesale the way //jurylint:allow guardedby
+// does: accesses to fields guarded by other mutexes, and writes under a
+// read lock, are still checked, and call sites inside the function
+// propagate the asserted locks to callees. It is the escape hatch for
+// the one case the package-local call graph cannot prove — functions
+// invoked through stored function values (callbacks) with a lock held.
+var holdsRe = regexp.MustCompile(`^//jurylint:holds\s+([\w.,]+)`)
+
 // NewGuardedBy returns the analyzer that checks mutex discipline in the
-// genuinely concurrent packages (the ofconn/wire real-time bridges).
-// Struct fields annotated with a `// guarded by <mu>` comment may only be
-// accessed inside functions that lock that mutex. The heuristic is
-// deliberately conservative and method-scoped: the enclosing function (or
-// a function literal within it) must contain a <mu>.Lock or <mu>.RLock
-// call; lock ordering and caller-held locks are not tracked, so functions
-// documented to run with the lock held carry a //jurylint:allow guardedby
-// annotation. Composite-literal construction does not count as an access:
-// the object is not shared yet.
+// genuinely concurrent packages (the ofconn/wire real-time bridges and
+// the sweep/obs orchestration bridges). Struct fields annotated with a
+// `// guarded by <mu>` comment may only be accessed while that mutex is
+// held.
+//
+// The v2 analysis is interprocedural within the package: it computes
+// flow-sensitive lock-sets per function (Lock/RLock acquire, Unlock/
+// RUnlock release, `defer mu.Unlock()` holds to function exit, branches
+// merge by must-intersection), builds the package call graph, and infers
+// each unexported function's entry lock-set as the intersection of the
+// lock-sets its callers prove at every call site — a fixed point that
+// terminates on mutual recursion because entry sets only shrink. Helpers
+// documented as "caller holds mu" are therefore proven rather than
+// allow-listed. Additional rules:
+//
+//   - A write (assignment, ++/--, delete, &-escape) to a guarded field
+//     under only RLock is reported: read locks do not license writes.
+//   - Objects freshly constructed in the current function (assigned from
+//     a composite literal or new()) are exempt until they escape —
+//     construction code owns the object exclusively.
+//   - Function literals inherit the lock-set at their use site when
+//     invoked immediately or deferred; literals that escape (go
+//     statements, stored callbacks, arguments) are analyzed with an
+//     empty lock-set, since nothing constrains when they run.
+//   - Exported functions and functions referenced as values start with
+//     an empty entry lock-set; `//jurylint:holds <mu>` asserts one.
 func NewGuardedBy(packages []string) *Analyzer {
 	return &Analyzer{
 		Name:     "guardedby",
@@ -27,42 +60,968 @@ func NewGuardedBy(packages []string) *Analyzer {
 	}
 }
 
+type lockMode uint8
+
+const (
+	modeRead  lockMode = 1
+	modeWrite lockMode = 2
+)
+
+// lockKey identifies one mutex as seen from the current function: the
+// object of the leftmost identifier of the receiver chain, the textual
+// chain ("s", "s.prog", "" for a bare variable), and the mutex name.
+type lockKey struct {
+	base  types.Object
+	chain string
+	name  string
+}
+
+type lockSet map[lockKey]lockMode
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// heldMode returns the strongest mode among held locks with the given
+// terminal name (guard annotations are name-based).
+func (s lockSet) heldMode(name string) lockMode {
+	var m lockMode
+	for k, v := range s {
+		if k.name == name && v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// flowState is the walker state at one program point.
+type flowState struct {
+	held       lockSet
+	terminated bool
+}
+
+func (st *flowState) clone() *flowState {
+	return &flowState{held: st.held.clone(), terminated: st.terminated}
+}
+
+// mergeStates is the must-intersection join: a lock is held after a
+// branch only if every non-terminated path holds it. Terminated paths
+// (return, break, panic) do not constrain the merge.
+func mergeStates(a, b *flowState) *flowState {
+	if a.terminated && b.terminated {
+		return &flowState{held: lockSet{}, terminated: true}
+	}
+	if a.terminated {
+		return b
+	}
+	if b.terminated {
+		return a
+	}
+	out := lockSet{}
+	for k, v := range a.held {
+		if w, ok := b.held[k]; ok {
+			if w < v {
+				v = w
+			}
+			out[k] = v
+		}
+	}
+	return &flowState{held: out}
+}
+
+// entryState is a function's inferred entry lock-set, with mutex names
+// relative to its receiver. top is the optimistic starting point of the
+// fixed-point iteration ("held at every call site seen so far").
+type entryState struct {
+	top   bool
+	locks map[string]lockMode
+}
+
+func (e *entryState) intersect(site map[string]lockMode) bool {
+	if e.top {
+		e.top = false
+		e.locks = make(map[string]lockMode, len(site))
+		for k, v := range site {
+			e.locks[k] = v
+		}
+		return true
+	}
+	changed := false
+	for k, v := range e.locks {
+		w, ok := site[k]
+		if !ok {
+			delete(e.locks, k)
+			changed = true
+			continue
+		}
+		if w < v {
+			e.locks[k] = w
+			changed = true
+		}
+	}
+	return changed
+}
+
+type guardAnalysis struct {
+	pass    *Pass
+	guarded map[*types.Var]string
+
+	decls     map[*types.Func]*ast.FuncDecl
+	parents   map[ast.Node]ast.Node
+	valueUsed map[*types.Func]bool
+	holds     map[*types.Func][]string
+	entry     map[*types.Func]*entryState
+	// sites accumulates, per callee, the receiver-relative lock-sets
+	// proven at each call site during one fixed-point iteration.
+	sites map[*types.Func][]map[string]lockMode
+
+	reporting bool
+}
+
 func runGuardedBy(pass *Pass) {
-	guarded := collectGuardedFields(pass)
-	if len(guarded) == 0 {
+	g := &guardAnalysis{
+		pass:      pass,
+		guarded:   collectGuardedFields(pass),
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		parents:   map[ast.Node]ast.Node{},
+		valueUsed: map[*types.Func]bool{},
+		holds:     map[*types.Func][]string{},
+		entry:     map[*types.Func]*entryState{},
+	}
+	if len(g.guarded) == 0 {
 		return
 	}
-	for _, file := range pass.Files {
+	g.index()
+	g.initEntries()
+
+	// Fixed point over entry lock-sets: walk every function, record the
+	// proven lock-set at each intra-package call site, and shrink callee
+	// entries to the intersection. Entries start at top (all guarded
+	// mutexes held) and only shrink, so the iteration terminates even
+	// through mutual recursion; the bound is the lattice height.
+	for iter := 0; iter <= len(g.decls)+len(g.guarded)+2; iter++ {
+		g.sites = map[*types.Func][]map[string]lockMode{}
+		for fn, fd := range g.decls {
+			g.walkFunc(fn, fd)
+		}
+		changed := false
+		for fn, e := range g.entry {
+			if fixed := g.holds[fn]; fixed != nil {
+				continue
+			}
+			sites, ok := g.sites[fn]
+			if !ok {
+				// No static call site in the package: nothing proven.
+				if e.top || len(e.locks) > 0 {
+					g.entry[fn] = &entryState{locks: map[string]lockMode{}}
+					changed = true
+				}
+				continue
+			}
+			for _, site := range sites {
+				if e.intersect(site) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	g.reporting = true
+	// Deterministic report order: walk declarations in file/position order.
+	ordered := make([]*types.Func, 0, len(g.decls))
+	for fn := range g.decls {
+		ordered = append(ordered, fn)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return g.decls[ordered[i]].Pos() < g.decls[ordered[j]].Pos()
+	})
+	for _, fn := range ordered {
+		g.walkFunc(fn, g.decls[fn])
+	}
+}
+
+// index builds the declaration table, the parent map, the set of
+// functions referenced as values, and the //jurylint:holds assertions.
+func (g *guardAnalysis) index() {
+	for _, file := range g.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			for _, c := range childNodes(n) {
+				g.parents[c] = n
+			}
+			return true
+		})
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			locked := lockedMutexes(fd.Body)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				sel, ok := n.(*ast.SelectorExpr)
-				if !ok {
-					return true
+			fn, ok := g.pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[fn] = fd
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if m := holdsRe.FindStringSubmatch(c.Text); m != nil {
+						for _, name := range strings.Split(m[1], ",") {
+							name = strings.TrimSpace(name)
+							if i := strings.LastIndex(name, "."); i >= 0 {
+								name = name[i+1:]
+							}
+							if name != "" {
+								g.holds[fn] = append(g.holds[fn], name)
+							}
+						}
+					}
 				}
-				selection, ok := pass.Info.Selections[sel]
-				if !ok || selection.Kind() != types.FieldVal {
-					return true
-				}
-				fieldVar, ok := selection.Obj().(*types.Var)
-				if !ok {
-					return true
-				}
-				mu, ok := guarded[fieldVar]
-				if !ok || locked[mu] {
-					return true
-				}
-				pass.Reportf(sel.Sel.Pos(),
-					"field %q (guarded by %s) accessed in %s without %s.Lock",
-					fieldVar.Name(), mu, fd.Name.Name, mu)
-				return true
-			})
+			}
 		}
 	}
+	// A function identifier used outside of call position means the
+	// function escapes as a value: anyone may invoke it at any time, so
+	// no entry lock-set can be inferred for it.
+	for _, file := range g.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := g.pass.Info.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			fn = fn.Origin()
+			if _, local := g.decls[fn]; !local {
+				return true
+			}
+			if !g.isCallPosition(id) {
+				g.valueUsed[fn] = true
+			}
+			return true
+		})
+	}
+}
+
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}
+
+// isCallPosition reports whether id appears as the operand of a direct
+// call (`f()` or `x.f()`), as opposed to a method/function value.
+func (g *guardAnalysis) isCallPosition(id *ast.Ident) bool {
+	p := g.parents[id]
+	if sel, ok := p.(*ast.SelectorExpr); ok && sel.Sel == id {
+		if call, ok := g.parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			return true
+		}
+		return false
+	}
+	if call, ok := p.(*ast.CallExpr); ok && call.Fun == id {
+		return true
+	}
+	return false
+}
+
+func (g *guardAnalysis) initEntries() {
+	for fn := range g.decls {
+		switch {
+		case g.holds[fn] != nil:
+			locks := map[string]lockMode{}
+			for _, name := range g.holds[fn] {
+				locks[name] = modeWrite
+			}
+			g.entry[fn] = &entryState{locks: locks}
+		case fn.Exported() || g.valueUsed[fn]:
+			// Callable from outside the package (or through a stored
+			// value): nothing can be assumed at entry.
+			g.entry[fn] = &entryState{locks: map[string]lockMode{}}
+		default:
+			g.entry[fn] = &entryState{top: true}
+		}
+	}
+}
+
+// funcWalker carries the per-function walk: the function under analysis,
+// its freshly-constructed (not yet escaped) objects, and its body (for
+// locating releases that follow a defer site).
+type funcWalker struct {
+	g      *guardAnalysis
+	fn     *types.Func
+	fd     *ast.FuncDecl
+	fnName string
+	fresh  map[types.Object]bool
+	// pendingEscapes defers freshness retirement to the end of the
+	// statement: in `s.field = s.method`, the stored method value shares
+	// s, but the same statement's accesses still happen pre-share.
+	pendingEscapes []types.Object
+}
+
+func (g *guardAnalysis) walkFunc(fn *types.Func, fd *ast.FuncDecl) {
+	w := &funcWalker{g: g, fn: fn, fd: fd, fnName: fd.Name.Name, fresh: map[types.Object]bool{}}
+	st := &flowState{held: lockSet{}}
+	// Seed the entry lock-set, naming locks relative to the receiver. A
+	// top entry (fixed-point starting point) optimistically holds every
+	// guarded mutex; the iteration shrinks it to what call sites prove.
+	if e := g.entry[fn]; e != nil {
+		seed := e.locks
+		if e.top {
+			seed = map[string]lockMode{}
+			for _, mu := range g.guarded {
+				seed[mu] = modeWrite
+			}
+		}
+		var recvObj types.Object
+		recvChain := ""
+		if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+			name := fd.Recv.List[0].Names[0]
+			recvObj = g.pass.Info.Defs[name]
+			recvChain = name.Name
+		}
+		for name, mode := range seed {
+			st.held[lockKey{base: recvObj, chain: recvChain, name: name}] = mode
+		}
+	}
+	w.walkStmt(fd.Body, st)
+}
+
+func (w *funcWalker) walkStmt(s ast.Stmt, st *flowState) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, stmt := range s.List {
+			w.walkStmt(stmt, st)
+		}
+	case *ast.ExprStmt:
+		w.scanStep(st, s.X)
+		if isPanicCall(s.X) {
+			st.terminated = true
+		}
+	case *ast.AssignStmt:
+		exprs := append(append([]ast.Expr{}, s.Rhs...), s.Lhs...)
+		w.scanStep(st, exprs...)
+		w.updateFresh(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.scanStep(st, vs.Values...)
+					w.markFreshSpec(vs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanStep(st, s.X)
+	case *ast.SendStmt:
+		w.scanStep(st, s.Chan, s.Value)
+	case *ast.ReturnStmt:
+		w.scanStep(st, s.Results...)
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; conservatively treat
+		// the fall-through as unreachable.
+		st.terminated = true
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+	case *ast.GoStmt:
+		w.walkGo(s, st)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, st)
+		w.scanStep(st, s.Cond)
+		thenSt := st.clone()
+		w.walkStmt(s.Body, thenSt)
+		elseSt := st.clone()
+		w.walkStmt(s.Else, elseSt)
+		*st = *mergeStates(thenSt, elseSt)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, st)
+		w.scanStep(st, s.Cond)
+		w.walkLoopBody(s.Body, st, s.Post)
+	case *ast.RangeStmt:
+		w.scanStep(st, s.X)
+		w.walkLoopBody(s.Body, st, nil)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, st)
+		w.scanStep(st, s.Tag)
+		w.walkClauses(st, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, st)
+		w.walkStmt(s.Assign, st)
+		w.walkClauses(st, s.Body, true)
+	case *ast.SelectStmt:
+		w.walkClauses(st, s.Body, false)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, st)
+	case *ast.EmptyStmt:
+	default:
+		// Remaining statement kinds carry no expressions we track.
+	}
+}
+
+// walkLoopBody walks a loop body twice: a silent probe from the incoming
+// state computes the state a second iteration would start from, then the
+// real walk runs from the must-intersection of both — so a lock released
+// inside the body is not considered held on the next iteration.
+func (w *funcWalker) walkLoopBody(body *ast.BlockStmt, st *flowState, post ast.Stmt) {
+	probe := st.clone()
+	savedReport := w.g.reporting
+	w.g.reporting = false
+	w.walkStmt(body, probe)
+	w.walkStmt(post, probe)
+	w.g.reporting = savedReport
+
+	entry := mergeStates(st.clone(), probe)
+	entry.terminated = false
+	w.walkStmt(body, entry)
+	w.walkStmt(post, entry)
+	after := mergeStates(st.clone(), entry)
+	after.terminated = false
+	*st = *after
+}
+
+// walkClauses walks each case/comm clause from a copy of the incoming
+// state and joins the exits. When the construct may run no clause at all
+// (a switch without default), the incoming state joins too.
+func (w *funcWalker) walkClauses(st *flowState, body *ast.BlockStmt, switchLike bool) {
+	var exits []*flowState
+	hasDefault := false
+	for _, clause := range body.List {
+		cst := st.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			w.scanStep(cst, c.List...)
+			for _, stmt := range c.Body {
+				w.walkStmt(stmt, cst)
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			w.walkStmt(c.Comm, cst)
+			for _, stmt := range c.Body {
+				w.walkStmt(stmt, cst)
+			}
+		}
+		exits = append(exits, cst)
+	}
+	if len(exits) == 0 {
+		return
+	}
+	if switchLike && !hasDefault {
+		exits = append(exits, st.clone())
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = mergeStates(out, e)
+	}
+	*st = *out
+}
+
+// walkDefer handles `defer f(...)`: a deferred mutex Unlock keeps the
+// lock held for the rest of the function; a deferred literal or helper
+// call runs at exit, with the defer-site locks minus any released later
+// in the function body.
+func (w *funcWalker) walkDefer(s *ast.DeferStmt, st *flowState) {
+	w.scanStep(st, s.Call.Args...)
+	if key, op, ok := w.lockOp(s.Call); ok {
+		_, _ = key, op
+		// Deferred Unlock/RUnlock releases at return: the lock stays held
+		// for the remainder of the walk. Deferred Lock is nonsense; skip.
+		return
+	}
+	deferSt := st.clone()
+	for name := range w.releasedAfter(s.Pos()) {
+		for k := range deferSt.held {
+			if k.name == name {
+				delete(deferSt.held, k)
+			}
+		}
+	}
+	deferSt.terminated = false
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		w.walkStmt(lit.Body, deferSt)
+		return
+	}
+	w.scanCall(s.Call, deferSt)
+}
+
+// walkGo handles `go f(...)`: the spawned code runs concurrently, so its
+// body (literal) or callee is analyzed with no locks held.
+func (w *funcWalker) walkGo(s *ast.GoStmt, st *flowState) {
+	w.scanStep(st, s.Call.Args...)
+	empty := &flowState{held: lockSet{}}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		w.walkStmt(lit.Body, empty)
+		return
+	}
+	w.scanCall(s.Call, empty)
+	// The receiver escapes into another goroutine.
+	w.escapeIdents(s.Call.Fun)
+}
+
+// releasedAfter collects the mutex names with a non-deferred Unlock or
+// RUnlock call positioned after pos in the function body (outside nested
+// function literals): locks a deferred closure cannot rely on.
+func (w *funcWalker) releasedAfter(pos token.Pos) map[string]bool {
+	out := map[string]bool{}
+	var visit func(n ast.Node, inDefer bool)
+	visit = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if c.Pos() <= pos {
+					return true
+				}
+				if key, op, ok := w.lockOp(c); ok && (op == "Unlock" || op == "RUnlock") {
+					out[key.name] = true
+				}
+			}
+			return true
+		})
+	}
+	visit(w.fd.Body, false)
+	return out
+}
+
+// scanStep checks one statement's expressions against the current state,
+// records call sites, walks function literals, and then applies the
+// statement's lock acquire/release effects and freshness escapes.
+func (w *funcWalker) scanStep(st *flowState, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		w.scanExpr(e, st)
+	}
+	for _, obj := range w.pendingEscapes {
+		delete(w.fresh, obj)
+	}
+	w.pendingEscapes = w.pendingEscapes[:0]
+	for _, e := range exprs {
+		w.applyEffects(e, st)
+	}
+}
+
+// scanExpr reports guarded-field accesses, records intra-package call
+// sites, and dispatches function literals. It does not descend into
+// literals in the normal flow (they get their own state).
+func (w *funcWalker) scanExpr(e ast.Expr, st *flowState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkFuncLit(n, st)
+			return false
+		case *ast.SelectorExpr:
+			w.checkAccess(n, st)
+		case *ast.CallExpr:
+			w.scanCall(n, st)
+		case *ast.Ident:
+			w.maybeEscape(n)
+		}
+		return true
+	})
+}
+
+// walkFuncLit analyzes a function literal with the state its execution
+// context justifies: immediate invocations share the current state;
+// anything else (stored, passed, returned) runs at an unknown time, with
+// an empty lock-set. go/defer literals are handled by their statements.
+func (w *funcWalker) walkFuncLit(lit *ast.FuncLit, st *flowState) {
+	if call, ok := w.g.parents[lit].(*ast.CallExpr); ok && call.Fun == lit {
+		switch w.g.parents[call].(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			// Already handled by walkGo/walkDefer.
+			return
+		default:
+			w.walkStmt(lit.Body, st)
+			return
+		}
+	}
+	empty := &flowState{held: lockSet{}}
+	w.walkStmt(lit.Body, empty)
+}
+
+// scanCall records the proven lock-set at an intra-package call site,
+// translated into the callee's receiver-relative frame.
+func (w *funcWalker) scanCall(call *ast.CallExpr, st *flowState) {
+	if w.g.reporting {
+		return
+	}
+	var id *ast.Ident
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		recv = fun.X
+	default:
+		return
+	}
+	fn, ok := w.g.pass.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	fn = fn.Origin()
+	if _, local := w.g.decls[fn]; !local {
+		return
+	}
+	site := map[string]lockMode{}
+	if recv != nil {
+		recvChain := chainString(recv)
+		if recvChain != "" {
+			// Skip construction-time call sites: the caller owns the
+			// object exclusively, so they must not constrain the entry
+			// set helpers need on the shared path.
+			if obj := leftmostIdentObj(w.g.pass.Info, recv); obj != nil && w.fresh[obj] {
+				return
+			}
+			for k, mode := range st.held {
+				if k.chain == recvChain {
+					site[k.name] = mode
+				}
+			}
+		}
+	}
+	w.g.sites[fn] = append(w.g.sites[fn], site)
+}
+
+// checkAccess reports a guarded-field access the current lock-set does
+// not license.
+func (w *funcWalker) checkAccess(sel *ast.SelectorExpr, st *flowState) {
+	if !w.g.reporting {
+		return
+	}
+	selection, ok := w.g.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fieldVar, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	fieldVar = fieldVar.Origin()
+	mu, ok := w.g.guarded[fieldVar]
+	if !ok {
+		return
+	}
+	if obj := leftmostIdentObj(w.g.pass.Info, sel); obj != nil && w.fresh[obj] {
+		return
+	}
+	mode := st.held.heldMode(mu)
+	write := w.isWriteTarget(sel)
+	switch {
+	case mode == 0:
+		w.g.pass.Reportf(sel.Sel.Pos(),
+			"field %q (guarded by %s) accessed in %s without %s.Lock",
+			fieldVar.Name(), mu, w.fnName, mu)
+	case write && mode == modeRead:
+		w.g.pass.Reportf(sel.Sel.Pos(),
+			"field %q (guarded by %s) written in %s under %s.RLock; writes need %s.Lock",
+			fieldVar.Name(), mu, w.fnName, mu, mu)
+	}
+}
+
+// isWriteTarget reports whether sel is mutated: an assignment target
+// (possibly through index/star/paren), ++/--, delete(), or &-escape.
+func (w *funcWalker) isWriteTarget(sel *ast.SelectorExpr) bool {
+	var n ast.Node = sel
+	for {
+		p := w.g.parents[n]
+		switch p := p.(type) {
+		case *ast.IndexExpr:
+			if p.X != n.(ast.Expr) {
+				return false
+			}
+			n = p
+		case *ast.ParenExpr, *ast.StarExpr:
+			n = p.(ast.Node)
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == n {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == n
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.CallExpr:
+			if id, ok := p.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := w.g.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return len(p.Args) > 0 && p.Args[0] == n
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// applyEffects applies Lock/RLock/Unlock/RUnlock calls found in e
+// (outside function literals) to the state.
+func (w *funcWalker) applyEffects(e ast.Expr, st *flowState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, op, ok := w.lockOp(call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Lock":
+			st.held[key] = modeWrite
+		case "RLock":
+			if st.held[key] < modeRead {
+				st.held[key] = modeRead
+			}
+		case "Unlock", "RUnlock":
+			if _, ok := st.held[key]; ok {
+				delete(st.held, key)
+			} else {
+				// Unlock through a different path expression: release
+				// conservatively by name so a dropped lock is never
+				// still considered held.
+				for k := range st.held {
+					if k.name == key.name {
+						delete(st.held, k)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes a sync mutex operation and resolves the mutex key.
+func (w *funcWalker) lockOp(call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	fn, ok := w.g.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockKey{}, "", false
+	}
+	key, ok := w.mutexKey(sel.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	return key, op, true
+}
+
+// mutexKey builds the lock key for a mutex expression: `mu`, `s.mu`,
+// `s.prog.mu`, …
+func (w *funcWalker) mutexKey(e ast.Expr) (lockKey, bool) {
+	e = unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		return lockKey{base: identObj(w.g.pass.Info, x), chain: "", name: x.Name}, true
+	case *ast.SelectorExpr:
+		return lockKey{
+			base:  leftmostIdentObj(w.g.pass.Info, x),
+			chain: chainString(x.X),
+			name:  x.Sel.Name,
+		}, true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.mutexKey(x.X)
+		}
+	}
+	return lockKey{}, false
+}
+
+// --- freshness (construction exemption) ---
+
+// updateFresh processes one assignment statement: escapes already
+// happened during the scan; here new freshly-constructed objects are
+// registered and overwritten ones retired.
+func (w *funcWalker) updateFresh(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := identObj(w.g.pass.Info, id)
+		if obj == nil {
+			continue
+		}
+		if isFreshConstruction(s.Rhs[i]) {
+			w.fresh[obj] = true
+		} else {
+			delete(w.fresh, obj)
+		}
+	}
+}
+
+func (w *funcWalker) markFreshSpec(vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		if obj := w.g.pass.Info.Defs[name]; obj != nil && isFreshConstruction(vs.Values[i]) {
+			w.fresh[obj] = true
+		}
+	}
+}
+
+func isFreshConstruction(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeEscape retires a fresh object when its identifier is used in a
+// position that shares it: anything but a field access or the receiver
+// of a direct (non-go, non-defer) method call.
+func (w *funcWalker) maybeEscape(id *ast.Ident) {
+	obj := identObj(w.g.pass.Info, id)
+	if obj == nil || !w.fresh[obj] {
+		return
+	}
+	if sel, ok := w.g.parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+		if selection, ok := w.g.pass.Info.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			return // field access on the fresh object
+		}
+		if call, ok := w.g.parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			switch w.g.parents[call].(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				// The receiver escapes into deferred/concurrent code.
+			default:
+				return // synchronous method call on the fresh object
+			}
+		}
+	}
+	w.pendingEscapes = append(w.pendingEscapes, obj)
+}
+
+// escapeIdents retires every fresh object referenced in e.
+func (w *funcWalker) escapeIdents(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := identObj(w.g.pass.Info, id); obj != nil {
+				delete(w.fresh, obj)
+			}
+		}
+		return true
+	})
+}
+
+// --- shared helpers ---
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// leftmostIdentObj resolves the leftmost identifier of a selector chain
+// (`s` in `s.prog.mu`), or nil when the chain is rooted elsewhere.
+func leftmostIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return identObj(info, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// chainString renders a receiver chain ("s", "s.prog") textually; ""
+// when the expression is not a pure identifier/selector chain.
+func chainString(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := chainString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return chainString(x.X)
+	}
+	return ""
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
 }
 
 // collectGuardedFields maps each annotated struct field object to the
@@ -102,28 +1061,4 @@ func guardAnnotation(field *ast.Field) string {
 		}
 	}
 	return ""
-}
-
-// lockedMutexes returns the set of mutex names on which body contains a
-// Lock or RLock call (on any receiver chain ending in that name).
-func lockedMutexes(body *ast.BlockStmt) map[string]bool {
-	locked := make(map[string]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		switch x := sel.X.(type) {
-		case *ast.Ident:
-			locked[x.Name] = true
-		case *ast.SelectorExpr:
-			locked[x.Sel.Name] = true
-		}
-		return true
-	})
-	return locked
 }

@@ -1,0 +1,41 @@
+// Package syncfix seeds errcritsync drift in both directions: an
+// exported error-returning API that is in neither the curated nor the
+// waived list, and a curated entry that matches no API.
+package syncfix
+
+import "errors"
+
+// criticalList stands in for the CriticalAPIs declaration in suite.go:
+// the fixture config anchors stale-entry diagnostics here. The entry
+// "syncfix.Gone" matches nothing and must be reported as stale.
+var criticalList = []string{ // want errcritsync "entry syncfix.Gone matches no exported error-returning API"
+	"(*syncfix.Engine).Run",
+	"syncfix.Gone",
+}
+
+// Engine mimics an audited engine type.
+type Engine struct{}
+
+// Run is curated in the fixture config: no diagnostic.
+func (e *Engine) Run() error { return errors.New("horizon") }
+
+// Flush is exported, returns an error, and is in no list.
+func (e *Engine) Flush() error { return nil } // want errcritsync "API (*syncfix.Engine).Flush is not in the errcrit critical list"
+
+// reset is unexported: not a candidate.
+func (e *Engine) reset() error { return nil }
+
+// Helper is waived in the fixture config: no diagnostic.
+func Helper() error { return nil }
+
+// Pure returns no error: not a candidate.
+func Pure() int { return len(criticalList) }
+
+// hidden is an unexported type, so its exported methods are not
+// reachable API and are not candidates.
+type hidden struct{}
+
+// Close would be a candidate were hidden exported.
+func (h hidden) Close() error { return h.hide() }
+
+func (h hidden) hide() error { return nil }

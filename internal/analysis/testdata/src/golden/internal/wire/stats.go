@@ -1,0 +1,26 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Stats is the hub's stats page; At deliberately carries raw virtual
+// time onto the wire for the driver golden test.
+type Stats struct {
+	Subs int           `json:"subs"`
+	At   time.Duration `json:"at"`
+}
+
+// WriteStats is deliberately wrong twice: it serializes a virtual-time
+// Duration without a boundary conversion (vclockleak), and it is an
+// exported error-returning wire API in neither the curated list nor the
+// waiver table (errcritsync). The lock discipline, by contrast, is
+// correct: the guarded read happens between Lock and Unlock.
+func (h *Hub) WriteStats(w io.Writer) error {
+	h.mu.Lock()
+	n := len(h.subs)
+	h.mu.Unlock()
+	return json.NewEncoder(w).Encode(Stats{Subs: n, At: time.Second})
+}

@@ -1,0 +1,192 @@
+package guardfix
+
+import "sync"
+
+// --- interprocedural proof: caller-holds helpers need no annotation ---
+
+// Inc locks and delegates to a helper; the call graph proves the helper's
+// entry lock-set.
+func (b *Box) Inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.incLocked()
+}
+
+// incLocked is documented nowhere and allow-listed nowhere: every call
+// site holds b.mu, so the fixed point proves it.
+func (b *Box) incLocked() {
+	b.count++
+}
+
+// Drain exercises mutual recursion: evenStep and oddStep call each other
+// and both inherit the lock from Drain's call site. The fixed point must
+// terminate.
+func (b *Box) Drain(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.evenStep(n)
+}
+
+func (b *Box) evenStep(n int) {
+	if n <= 0 {
+		return
+	}
+	b.count--
+	b.oddStep(n - 1)
+}
+
+func (b *Box) oddStep(n int) {
+	if n <= 0 {
+		return
+	}
+	b.count++
+	b.evenStep(n - 1)
+}
+
+// --- release tracking: Unlock before the access drops the lock ---
+
+// Racy releases the lock and then touches the guarded field again; v1's
+// whole-function heuristic missed this.
+func (b *Box) Racy() int {
+	b.mu.Lock()
+	n := b.count
+	b.mu.Unlock()
+	return n + b.count // want guardedby "guarded by mu"
+}
+
+// MaybeLocked only locks on one branch, so the merge after the if holds
+// nothing.
+func (b *Box) MaybeLocked(cond bool) int {
+	if cond {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	return b.count // want guardedby "guarded by mu"
+}
+
+// --- function literals ---
+
+// Stored returns a closure over the guarded field: it runs at an unknown
+// time, with no locks.
+func (b *Box) Stored() func() int {
+	return func() int { return b.count } // want guardedby "guarded by mu"
+}
+
+// Immediate invokes the literal in place, so it inherits the lock-set at
+// the call site.
+func (b *Box) Immediate() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() int { return b.count }()
+}
+
+// Spawn launches goroutines: the first touches the field bare, the
+// second takes the lock itself.
+func (b *Box) Spawn() {
+	go func() { b.count++ }() // want guardedby "guarded by mu"
+	go func() {
+		b.mu.Lock()
+		b.count--
+		b.mu.Unlock()
+	}()
+}
+
+// --- caller-holds assertion for stored callbacks ---
+
+// onEvent is registered as a callback value, so no call graph can prove
+// its entry lock-set; the holds assertion states the contract instead of
+// silencing the check.
+//
+//jurylint:holds mu -- registered on Box with mu held by the dispatcher
+func (b *Box) onEvent() {
+	b.count++
+}
+
+// Register stores onEvent as a value (which otherwise forces an empty
+// entry lock-set).
+func (b *Box) Register(fns *[]func()) {
+	*fns = append(*fns, b.onEvent)
+}
+
+// --- read/write lock modes ---
+
+// RBox guards a field with an RWMutex: reads need at least RLock, writes
+// need the write lock.
+type RBox struct {
+	rw   sync.RWMutex
+	hits int // guarded by rw
+}
+
+// Peek reads under RLock.
+func (r *RBox) Peek() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.hits
+}
+
+// BadBump writes under only RLock.
+func (r *RBox) BadBump() {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	r.hits++ // want guardedby "under rw.RLock"
+}
+
+// Bump writes under the write lock.
+func (r *RBox) Bump() {
+	r.rw.Lock()
+	defer r.rw.Unlock()
+	r.hits++
+}
+
+// Expired reads after the deferred RUnlock's critical section ended via
+// an explicit early release.
+func (r *RBox) Expired() int {
+	r.rw.RLock()
+	n := r.hits
+	r.rw.RUnlock()
+	return n + r.hits // want guardedby "guarded by rw"
+}
+
+// --- generics: one proof covers every instantiation ---
+
+// Cell is a generic guarded container.
+type Cell[T any] struct {
+	mu  sync.Mutex
+	val T // guarded by mu
+}
+
+// Set locks and delegates; setLocked is proven through the call graph at
+// the generic origin, covering every instantiation.
+func (c *Cell[T]) Set(v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setLocked(v)
+}
+
+func (c *Cell[T]) setLocked(v T) {
+	c.val = v
+}
+
+// Get reads bare at the generic origin.
+func (c *Cell[T]) Get() T {
+	return c.val // want guardedby "guarded by mu"
+}
+
+// UseCells instantiates Cell at two types so the analysis sees
+// instantiated method objects that must resolve to their origins.
+func UseCells() {
+	a := &Cell[int]{}
+	a.Set(1)
+	s := &Cell[string]{}
+	s.Set("x")
+}
+
+// --- construction exemption ---
+
+// Fresh initializes a just-built Box before sharing it: construction
+// code owns the value exclusively.
+func Fresh() *Box {
+	b := &Box{}
+	b.count = 1
+	return b
+}

@@ -1,0 +1,100 @@
+// Package vclockfix seeds vclockleak violations: virtual-clock values
+// (engine timestamps, injected-clock reads, Duration fields and
+// parameters) flowing into JSON marshalling and json-tagged struct
+// fields, plus the vclock:wire annotation that waives a deliberate
+// boundary.
+package vclockfix
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Engine mimics the simnet clock owner.
+type Engine struct {
+	now time.Duration
+}
+
+// Now reads the virtual clock (a configured source).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Report is a serialized result record: Elapsed ties its JSON form to a
+// clock's time base, AtNS only leaks when tainted values flow in.
+type Report struct {
+	Name    string        `json:"name"`
+	AtNS    int64         `json:"at_ns"`
+	Elapsed time.Duration `json:"elapsed"`
+	skew    time.Duration // unexported: encoding/json never sees it
+}
+
+// Stamp carries virtual nanoseconds by protocol contract.
+type Stamp struct {
+	AtNS int64 `json:"at_ns"` // vclock:wire -- virtual ns by protocol contract
+}
+
+// ShapeLeak marshals a struct with a reachable Duration field.
+func ShapeLeak(r Report) ([]byte, error) {
+	return json.Marshal(r) // want vclockleak "leaks virtual-time field Report.Elapsed"
+}
+
+// DirectLeak marshals a Duration-typed value outright.
+func DirectLeak(e *Engine) ([]byte, error) {
+	return json.Marshal(e.now) // want vclockleak "value of type time.Duration"
+}
+
+// CompositeLeak writes a clock read into a json-tagged field.
+func CompositeLeak(e *Engine) Report {
+	return Report{AtNS: int64(e.Now())} // want vclockleak "flows into serialized field Report.AtNS"
+}
+
+// AssignLeak flows a stored clock read through a local into the field.
+func AssignLeak(e *Engine) Report {
+	var r Report
+	d := e.Now()
+	r.AtNS = int64(d) // want vclockleak "flows into serialized field Report.AtNS"
+	return r
+}
+
+// ParamLeak receives virtual time as a parameter (the injected-clock
+// idiom hands timestamps down the call chain).
+func ParamLeak(start time.Duration) Report {
+	return Report{AtNS: int64(start)} // want vclockleak "flows into serialized field Report.AtNS"
+}
+
+// FuncValueLeak reads a stored clock function.
+type clocked struct {
+	clock func() time.Duration
+}
+
+func (c *clocked) Snapshot() Report {
+	return Report{AtNS: int64(c.clock())} // want vclockleak "flows into serialized field Report.AtNS"
+}
+
+// TaintedMarshal passes a tainted non-Duration value to Marshal.
+func TaintedMarshal(e *Engine) ([]byte, error) {
+	ns := int64(e.Now())
+	return json.Marshal(ns) // want vclockleak "passed to json Marshal"
+}
+
+// Waived writes the clock into an annotated boundary field: virtual
+// nanoseconds are the documented contract.
+func Waived(e *Engine) Stamp {
+	return Stamp{AtNS: int64(e.Now())}
+}
+
+// Laundered routes virtual time through a call: taint tracking is
+// intra-procedural, so an ordinary call boundary converts responsibility.
+func Laundered(e *Engine) Report {
+	return Report{AtNS: scale(e.Now())}
+}
+
+func scale(d time.Duration) int64 { return int64(d / time.Millisecond) }
+
+// CleanMarshal marshals a record with no time-typed reachable fields.
+type counts struct {
+	Decided int64 `json:"decided"`
+}
+
+func CleanMarshal(c counts) ([]byte, error) {
+	return json.Marshal(c)
+}

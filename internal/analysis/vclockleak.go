@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// vclockWireRe matches the boundary annotation on a struct field:
+//
+//	// vclock:wire -- justification
+//
+// It marks a field that deliberately carries virtual time (simnet
+// nanoseconds) across a serialization boundary: the wire protocol or an
+// on-disk format whose documented time base is the virtual clock. The
+// vclockleak pass skips annotated fields.
+var vclockWireRe = regexp.MustCompile(`vclock:wire`)
+
+// VClockConfig parameterizes the vclockleak pass.
+type VClockConfig struct {
+	// Sources are FullNames of calls that produce virtual-clock values,
+	// e.g. "(*mod/internal/simnet.Engine).Now". Calls through values of
+	// type func() time.Duration (the injected-clock idiom) are sources
+	// implicitly, as are reads of module-declared time.Duration fields
+	// and time.Duration parameters.
+	Sources []string
+	// Boundaries are FullNames of conversion helpers that launder
+	// virtual time into a wall-anchored or unit-explicit representation;
+	// their results are not tainted. (Ordinary function calls launder
+	// implicitly — taint tracking is intra-procedural — so boundaries
+	// exist to make deliberate conversions self-documenting.)
+	Boundaries []string
+}
+
+// NewVClockLeak returns the analyzer that keeps virtual-clock values out
+// of serialized formats. The simnet engine's clock counts nanoseconds
+// since simulation start: writing such a value into a wire envelope or
+// an on-disk struct silently changes meaning between runs and between
+// virtual- and wall-clocked deployments. Two checks:
+//
+//   - Shape: at every json.Marshal / json.MarshalIndent /
+//     (*json.Encoder).Encode call, the static type of the argument is
+//     walked; any reachable time.Duration or time.Time field declared in
+//     this module — and any argument directly of those types — is
+//     reported unless the field carries a `vclock:wire` annotation.
+//   - Taint: inside each function, virtual-time values (source calls,
+//     func() time.Duration clock calls, Duration fields and parameters)
+//     are tracked through assignments, arithmetic and conversions; a
+//     tainted value flowing into a json-tagged struct field or a marshal
+//     argument is reported unless the field is annotated.
+//
+// The type-shape walk cannot see through interface{} or type parameters
+// (sweep's generic cache values marshal opaquely); those boundaries rely
+// on the taint check at the construction site.
+func NewVClockLeak(packages []string, cfg VClockConfig) *Analyzer {
+	v := &vclockAnalysis{
+		cfg:    cfg,
+		waived: map[*types.Var]bool{},
+		tags:   map[*types.Var]string{},
+		module: map[string]bool{},
+	}
+	return &Analyzer{
+		Name:     "vclockleak",
+		Doc:      "checks that virtual-clock values do not leak into serialized formats without a vclock:wire boundary annotation",
+		Packages: packages,
+		Init:     v.init,
+		Run:      v.run,
+	}
+}
+
+type vclockAnalysis struct {
+	cfg VClockConfig
+	// waived marks fields annotated vclock:wire; tags carries every
+	// struct field's raw tag. Both are module-wide: LoadModule shares
+	// one importer, so field objects are identical across packages.
+	waived map[*types.Var]bool
+	tags   map[*types.Var]string
+	// module is the set of loaded package paths — "declared in this
+	// module" for the shape walk.
+	module map[string]bool
+}
+
+// init indexes vclock:wire annotations and struct tags across the whole
+// module, so a wire-package marshal site can honor an annotation on a
+// core-package field.
+func (v *vclockAnalysis) init(m *ModuleContext) {
+	for _, pkg := range m.Pkgs {
+		v.module[pkg.Path] = true
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					waived := false
+					for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+						if cg != nil && vclockWireRe.MatchString(cg.Text()) {
+							waived = true
+						}
+					}
+					tag := ""
+					if field.Tag != nil {
+						tag = strings.Trim(field.Tag.Value, "`")
+					}
+					for _, name := range field.Names {
+						fv, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if waived {
+							v.waived[fv] = true
+						}
+						if tag != "" {
+							v.tags[fv] = tag
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (v *vclockAnalysis) run(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			v.checkFunc(pass, fd)
+		}
+	}
+}
+
+// vclockFunc is the per-function taint state.
+type vclockFunc struct {
+	v    *vclockAnalysis
+	pass *Pass
+	// tainted holds locals and parameters carrying virtual time.
+	tainted map[types.Object]bool
+	// reported de-duplicates shape-vs-taint reports per call position.
+	reported map[ast.Node]bool
+}
+
+func (v *vclockAnalysis) checkFunc(pass *Pass, fd *ast.FuncDecl) {
+	f := &vclockFunc{
+		v:        v,
+		pass:     pass,
+		tainted:  map[types.Object]bool{},
+		reported: map[ast.Node]bool{},
+	}
+	// Seed: time.Duration parameters carry virtual time in analyzed
+	// packages (the injected-clock idiom passes engine timestamps down).
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && isVirtualTimeType(obj.Type(), false) {
+					f.tainted[obj] = true
+				}
+			}
+		}
+	}
+	// Two forward passes: the first propagates taint through straight-
+	// line assignments, the second catches simple backward references
+	// (a loop body using a variable tainted later in the body).
+	f.walk(fd.Body, false)
+	f.walk(fd.Body, true)
+}
+
+// walk propagates taint through the body; when report is set it also
+// fires the sink checks.
+func (f *vclockFunc) walk(body ast.Node, report bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			f.propagateAssign(n)
+			if report {
+				f.checkFieldAssign(n)
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					if obj := f.pass.Info.Defs[name]; obj != nil && f.taintedExpr(n.Values[i]) {
+						f.tainted[obj] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if report {
+				f.checkComposite(n)
+			}
+		case *ast.CallExpr:
+			if report {
+				f.checkMarshalCall(n)
+			}
+		}
+		return true
+	})
+}
+
+func (f *vclockFunc) propagateAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := identObj(f.pass.Info, id)
+		if obj == nil {
+			continue
+		}
+		if f.taintedExpr(a.Rhs[i]) {
+			f.tainted[obj] = true
+		}
+	}
+}
+
+// taintedExpr reports whether e carries a virtual-time value.
+func (f *vclockFunc) taintedExpr(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := identObj(f.pass.Info, e); obj != nil {
+			return f.tainted[obj]
+		}
+	case *ast.BinaryExpr:
+		return f.taintedExpr(e.X) || f.taintedExpr(e.Y)
+	case *ast.UnaryExpr:
+		return f.taintedExpr(e.X)
+	case *ast.SelectorExpr:
+		// Reading a module-declared Duration field yields virtual time
+		// (engine timestamps live in such fields).
+		if sel, ok := f.pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if fv, ok := sel.Obj().(*types.Var); ok {
+				fv = fv.Origin()
+				if f.v.moduleField(fv) && isVirtualTimeType(fv.Type(), false) {
+					return true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		return f.taintedCall(e)
+	}
+	return false
+}
+
+func (f *vclockFunc) taintedCall(call *ast.CallExpr) bool {
+	// A type conversion propagates taint: int64(d) is still virtual ns.
+	if tv, ok := f.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && f.taintedExpr(call.Args[0])
+	}
+	if name := calleeFullName(f.pass.Info, call); name != "" {
+		for _, b := range f.v.cfg.Boundaries {
+			if name == b {
+				return false
+			}
+		}
+		for _, s := range f.v.cfg.Sources {
+			if name == s {
+				return true
+			}
+		}
+	}
+	// The injected-clock idiom: calling a stored func() time.Duration
+	// reads the virtual clock.
+	if tv, ok := f.pass.Info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				isVirtualTimeType(sig.Results().At(0).Type(), false) {
+				// Only clock *values* count: a declared function
+				// returning a Duration (an ETA estimate, a backoff
+				// step) launders like any other call.
+				switch fun := unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if _, isFunc := identObj(f.pass.Info, fun).(*types.Func); !isFunc {
+						return true
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := f.pass.Info.Selections[fun]; ok && sel.Kind() == types.FieldVal {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkFieldAssign fires on `x.Field = tainted` when Field is
+// json-tagged and not annotated.
+func (f *vclockFunc) checkFieldAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		sel, ok := unparen(lhs).(*ast.SelectorExpr)
+		if !ok || !f.taintedExpr(a.Rhs[i]) {
+			continue
+		}
+		selection, ok := f.pass.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			continue
+		}
+		if fv, ok := selection.Obj().(*types.Var); ok {
+			f.reportSink(sel.Sel.Pos(), fv.Origin(), typeShortName(selection.Recv()))
+		}
+	}
+}
+
+// checkComposite fires on `T{Field: tainted}` for json-tagged fields.
+func (f *vclockFunc) checkComposite(lit *ast.CompositeLit) {
+	tv, ok := f.pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	st, ok := deref(tv.Type).Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !f.taintedExpr(kv.Value) {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fv := st.Field(i); fv.Name() == key.Name {
+				f.reportSink(kv.Pos(), fv.Origin(), typeShortName(tv.Type))
+				break
+			}
+		}
+	}
+}
+
+// reportSink reports taint reaching a serialized field, unless the field
+// is unserialized (no json tag) or annotated vclock:wire.
+func (f *vclockFunc) reportSink(pos token.Pos, fv *types.Var, owner string) {
+	tag, ok := f.v.tags[fv]
+	if !ok {
+		return
+	}
+	jsonName := reflect.StructTag(tag).Get("json")
+	if jsonName == "-" || jsonName == "" {
+		return
+	}
+	if f.v.waived[fv] {
+		return
+	}
+	f.pass.Reportf(pos,
+		"virtual-time value flows into serialized field %s.%s (json:%q); convert at a boundary or annotate vclock:wire",
+		owner, fv.Name(), strings.Split(jsonName, ",")[0])
+}
+
+// typeShortName renders a type's bare name (no package, no pointer).
+func typeShortName(t types.Type) string {
+	if named, ok := deref(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, shortQualifier)
+}
+
+// marshalFuncs are the serialization entry points the shape check guards.
+var marshalFuncs = map[string]bool{
+	"encoding/json.Marshal":           true,
+	"encoding/json.MarshalIndent":     true,
+	"(*encoding/json.Encoder).Encode": true,
+}
+
+// checkMarshalCall runs both the static type-shape walk and the tainted-
+// argument check at one marshal call site.
+func (f *vclockFunc) checkMarshalCall(call *ast.CallExpr) {
+	name := calleeFullName(f.pass.Info, call)
+	if !marshalFuncs[name] || len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := f.pass.Info.Types[arg]
+	if !ok {
+		return
+	}
+	short := name[strings.LastIndex(name, ".")+1:]
+	for _, leak := range f.shapeLeaks(tv.Type) {
+		f.reported[call] = true
+		f.pass.Reportf(arg.Pos(),
+			"json %s of %s leaks virtual-time %s; convert at a boundary or annotate vclock:wire",
+			short, types.TypeString(tv.Type, shortQualifier), leak)
+	}
+	if !f.reported[call] && f.taintedExpr(arg) {
+		f.pass.Reportf(arg.Pos(),
+			"virtual-time value passed to json %s; convert at a boundary or annotate vclock:wire", short)
+	}
+}
+
+// shapeLeaks walks t and returns a description of every reachable
+// unannotated virtual-time component: the type itself, or field paths of
+// module-declared structs.
+func (f *vclockFunc) shapeLeaks(t types.Type) []string {
+	var leaks []string
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type, path string, depth int)
+	walk = func(t types.Type, path string, depth int) {
+		if depth > 8 || seen[t] {
+			return
+		}
+		seen[t] = true
+		if isVirtualTimeType(t, true) {
+			if path == "" {
+				leaks = append(leaks, "value of type "+types.TypeString(t, shortQualifier))
+			} else {
+				leaks = append(leaks, "field "+path)
+			}
+			return
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			walk(u.Elem(), path, depth+1)
+			return
+		case *types.Slice:
+			walk(u.Elem(), path, depth+1)
+			return
+		case *types.Array:
+			walk(u.Elem(), path, depth+1)
+			return
+		case *types.Map:
+			walk(u.Elem(), path, depth+1)
+			return
+		}
+		// Recurse into named structs declared inside this module only;
+		// external types serialize under their own contract.
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || !f.v.module[named.Obj().Pkg().Path()] {
+			return
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			// A module-declared named non-struct (e.g. a Duration alias)
+			// was already handled by isVirtualTimeType above.
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fv := st.Field(i)
+			if !fv.Exported() {
+				continue // encoding/json skips unexported fields
+			}
+			if reflect.StructTag(st.Tag(i)).Get("json") == "-" {
+				continue
+			}
+			if f.v.waived[fv.Origin()] {
+				continue
+			}
+			fieldPath := named.Obj().Name() + "." + fv.Name()
+			if path != "" {
+				fieldPath = path + "." + fv.Name()
+			}
+			walk(fv.Type(), fieldPath, depth+1)
+		}
+	}
+	walk(t, "", 0)
+	return leaks
+}
+
+// moduleField reports whether fv is declared in a loaded module package.
+func (v *vclockAnalysis) moduleField(fv *types.Var) bool {
+	return fv.Pkg() != nil && v.module[fv.Pkg().Path()]
+}
+
+// isVirtualTimeType recognizes time.Duration (and, for the shape walk,
+// time.Time: serializing either ties the format to a clock's time base).
+func isVirtualTimeType(t types.Type, includeTime bool) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Duration" || (includeTime && obj.Name() == "Time")
+}
+
+// calleeFullName resolves a call's callee to its types.Func FullName
+// ("pkg.F" or "(*pkg.T).M"), or "" for literals, conversions and
+// builtins.
+func calleeFullName(info *types.Info, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return fn.Origin().FullName()
+}
+
+func shortQualifier(p *types.Package) string { return p.Name() }
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

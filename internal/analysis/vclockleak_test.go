@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestVClockLeakFixture(t *testing.T) {
+	runFixture(t, fixtureDir("vclockleak", "vclockfix"), "vclockfix",
+		NewVClockLeak(nil, VClockConfig{
+			Sources: []string{"(*vclockfix.Engine).Now"},
+		}))
+}

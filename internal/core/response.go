@@ -93,7 +93,10 @@ type Response struct {
 	Prev   string
 	PrevOK bool
 
-	At time.Duration
+	// At is the virtual submission timestamp. It crosses the wire as-is:
+	// the protocol's documented time base is virtual nanoseconds since
+	// simulation/service start on both ends.
+	At time.Duration // vclock:wire -- protocol time base is virtual ns
 
 	// free marks responses that ride an existing replication stream
 	// (cache updates) and therefore cost no additional network traffic.
