@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify figures bench trace
+.PHONY: build test race lint verify figures bench bench-shard trace
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem ./internal/obs ./internal/core; \
 	  $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# bench-shard mints BENCH_shard.json: the sharded validation plane's
+# Submit-throughput scaling curve at 1/2/4/8 shards (see the
+# BenchmarkShardScaling doc comment and EXPERIMENTS.md for the
+# bottleneck-shard methodology; submit_per_s at shards=8 must stay ≥4×
+# the shards=1 value).
+bench-shard:
+	$(GO) test -run '^$$' -bench BenchmarkShardScaling -benchtime 10x . \
+	  | $(GO) run ./cmd/benchjson > BENCH_shard.json
 
 # trace produces an example Chrome trace_event file from the quickstart
 # scenario; open trace.json in chrome://tracing or https://ui.perfetto.dev.

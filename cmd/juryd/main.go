@@ -37,6 +37,8 @@ func run() error {
 		switches   = flag.Int("switches", 24, "number of switches in the deployment")
 		timeout    = flag.Duration("timeout", 130*time.Millisecond, "validation timeout θτ")
 		adaptive   = flag.Bool("adaptive", false, "enable the adaptive (EWMA) validation deadline")
+		shards     = flag.Int("shards", 1, "validator shard count: >1 runs the parallel per-taint shard plane")
+		queueDepth = flag.Int("queue-depth", 0, "per-shard intake queue bound (0 = default; full queues backpressure, never drop)")
 		alarmsOnly = flag.Bool("alarms-only", false, "push only fault results to clients")
 		statsEvery = flag.Duration("stats-every", 10*time.Second, "period for logging aggregate stats (0 = off)")
 		metricsAt  = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (e.g. 127.0.0.1:9091; empty = off)")
@@ -53,6 +55,8 @@ func run() error {
 		Switches:          *switches,
 		ValidationTimeout: *timeout,
 		AdaptiveTimeout:   *adaptive,
+		Shards:            *shards,
+		QueueDepth:        *queueDepth,
 		AlarmsOnly:        *alarmsOnly,
 		MaxLineBytes:      *maxLine,
 		HeartbeatEvery:    *heartbeat,
@@ -62,7 +66,7 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("juryd: validating on %s (k=%d, n=%d, timeout=%v)", srv.Addr(), *k, *members, *timeout)
+	log.Printf("juryd: validating on %s (k=%d, n=%d, timeout=%v, shards=%d)", srv.Addr(), *k, *members, *timeout, *shards)
 
 	if *metricsAt != "" {
 		expo, err := obs.ServeExpo(*metricsAt, obs.ExpoConfig{Write: srv.WriteMetrics})

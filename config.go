@@ -80,6 +80,12 @@ type Config struct {
 	// NoStateAware disables the validator's state-aware consensus
 	// refinements (ablation).
 	NoStateAware bool
+	// Shards partitions validator state by trigger taint-ID across this
+	// many shards (default 1). In the simulation all shards share the
+	// event engine, so verdicts and traces are byte-identical at any
+	// shard count for a fixed seed; the knob exercises the same dispatch
+	// path the parallel plane (internal/shard) scales across goroutines.
+	Shards int
 	// Policies is the administrator policy set evaluated by the
 	// validator.
 	Policies []policy.Policy
@@ -120,6 +126,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.EnableJury {
 		if c.K == 0 {
 			c.K = c.ClusterSize - 1
+		}
+		if c.Shards < 0 {
+			return c, fmt.Errorf("jury: shards must be >= 0, got %d", c.Shards)
+		}
+		if c.Shards == 0 {
+			c.Shards = 1
 		}
 		if c.K > c.ClusterSize-1 {
 			return c, fmt.Errorf("jury: k=%d exceeds cluster size n=%d", c.K, c.ClusterSize)
@@ -197,6 +209,16 @@ type ValidatorServiceConfig struct {
 	ValidationTimeout time.Duration
 	// AdaptiveTimeout enables the EWMA adaptive deadline (§VIII-1).
 	AdaptiveTimeout bool
+	// Shards partitions validator state by trigger taint-ID across this
+	// many shards (default 1 — the paper's single decision loop). With
+	// Shards > 1 the service runs the parallel shard plane: one worker
+	// goroutine per shard, responses dispatched by FNV over the taint ID.
+	Shards int
+	// QueueDepth bounds each shard's intake queue (default
+	// shard.DefaultQueueDepth). A full queue applies backpressure to the
+	// dispatching connection — responses are never dropped. Only
+	// meaningful with Shards > 1.
+	QueueDepth int
 	// AlarmsOnly pushes only fault results to connected clients.
 	AlarmsOnly bool
 
@@ -228,6 +250,9 @@ func (c ValidatorServiceConfig) withDefaults() ValidatorServiceConfig {
 	}
 	if c.ValidationTimeout <= 0 {
 		c.ValidationTimeout = 130 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }

@@ -24,7 +24,11 @@ var SimPackages = []string{
 // listener wrappers run on real sockets from test goroutines, but their
 // fault schedules are explicit calls — no timers, no randomness — so it
 // is held to the same wall-clock discipline as the bridge it exercises.
-var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs"}
+// shard is the parallel validation plane: it multiplies the sim-contract
+// validator core across worker goroutines with bounded channels, so it
+// owns concurrency, but takes all timestamps from the workers' virtual
+// engines — no wall-clock reads at all.
+var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs", "shard"}
 
 // CmdPackages are the command-line drivers under cmd/. They are held to
 // the bridge contract, not the sim contract: they own goroutines and
@@ -84,6 +88,7 @@ func ErrcritPackages(modulePath string) []string {
 		modulePath + "/internal/openflow",
 		modulePath + "/internal/sweep",
 		modulePath + "/internal/obs",
+		modulePath + "/internal/shard",
 	}
 }
 
@@ -101,6 +106,7 @@ func ErrcritWaived(modulePath string) map[string]string {
 		modulePath + "/internal/obs.NewExpoHandler":               "constructor; a nil handler fails the server loudly",
 		modulePath + "/internal/sweep.New":                        "constructor; a bad campaign config aborts before any run",
 		modulePath + "/internal/sweep.NewCache":                   "constructor; a cache open error disables caching, not results",
+		modulePath + "/internal/shard.New":                        "constructor; a config error aborts before any worker starts",
 		modulePath + "/internal/wire.Dial":                        "connection setup; failure is the result the caller observes",
 		modulePath + "/internal/wire.DialConfig":                  "connection setup; failure is the result the caller observes",
 

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+// FNV-1a64 parameters — the same hash family internal/sweep uses for
+// per-point seed derivation, inlined here so the dispatch hot path does
+// not allocate a hash.Hash64 per response.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// ShardForTrigger maps a taint ID onto one of n shards: FNV-1a64 over the
+// ID bytes, folded modulo the shard count. The assignment is pure — the
+// same trigger always lands on the same shard at a given shard count —
+// which is what makes per-trigger state single-writer and the whole plane
+// deterministic: a shard's verdicts depend only on its own response
+// subsequence plus the broadcast Ψ stream.
+func ShardForTrigger(id trigger.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= fnvPrime64
+	}
+	return int(h % uint64(n))
+}
+
+// Submit delivers one controller response ρ = (id, τ, entry) to the
+// validator — the entry point of Algorithm 1. Untainted responses update
+// Ψ on every shard (the broadcast keeps each shard's view of controller
+// state identical to the global table); the per-trigger consensus state
+// advances only on the shard the taint ID hashes onto. With Shards=1 this
+// degenerates to the paper's single decision loop.
+func (v *Validator) Submit(r Response) {
+	if !r.Tainted {
+		for _, s := range v.shards {
+			s.observe(r)
+		}
+	}
+	if r.Trigger == "" {
+		return // unattributed traffic (handshakes) is not validated
+	}
+	v.shards[ShardForTrigger(r.Trigger, len(v.shards))].submit(r)
+}
+
+// ObserveState applies a response's Ψ update without advancing any
+// per-trigger state. The parallel plane (internal/shard) uses it to
+// broadcast untainted responses to non-owner shard validators; tainted
+// responses carry no Ψ update and are ignored.
+func (v *Validator) ObserveState(r Response) {
+	if r.Tainted {
+		return
+	}
+	for _, s := range v.shards {
+		s.observe(r)
+	}
+}
+
+// Shards returns the number of state shards the validator runs.
+func (v *Validator) Shards() int { return len(v.shards) }
+
+// Pending returns the number of triggers awaiting decision (including
+// decided entries inside their late-response grace window), summed across
+// shards. Backed by an atomic gauge, so it is safe to call from outside
+// the goroutine that owns the decision loop.
+func (v *Validator) Pending() int { return int(v.pendingG.Value()) }
+
+// ShardPending returns one shard's pending-trigger count (atomic; safe
+// from any goroutine).
+func (v *Validator) ShardPending(i int) int {
+	if i < 0 || i >= len(v.shards) {
+		return 0
+	}
+	return int(v.shards[i].pendingG.Value())
+}
+
+// Alarms returns the retained alarm results in decision order. The list
+// is an immutable snapshot published by the decision loop, so concurrent
+// Submit traffic on the owning goroutine cannot race a reader.
+func (v *Validator) Alarms() []Result {
+	return v.alarms.Snapshot()
+}

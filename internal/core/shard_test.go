@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+func TestShardForTriggerStableAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		counts := make([]int, n)
+		for i := 0; i < 1000; i++ {
+			id := trigger.ID(fmt.Sprintf("τ%d", i))
+			s := ShardForTrigger(id, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardForTrigger(%q, %d) = %d out of range", id, n, s)
+			}
+			if again := ShardForTrigger(id, n); again != s {
+				t.Fatalf("assignment not stable: %d then %d", s, again)
+			}
+			counts[s]++
+		}
+		// FNV over distinct IDs must actually spread load: no shard may
+		// end up empty at any width.
+		for s, c := range counts {
+			if c == 0 {
+				t.Fatalf("n=%d: shard %d received no triggers", n, s)
+			}
+		}
+	}
+}
+
+// shardScenario drives a deterministic mixed workload (early consensus,
+// omission faults, no-op consensus, value conflicts) through a validator
+// with the given shard count and returns the decision sequence.
+func shardScenario(t *testing.T, shards int) ([]Result, *Validator) {
+	t.Helper()
+	eng := simnet.NewEngine(1)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster,
+		[]store.NodeID{1, 2, 3}, []topo.DPID{1, 2})
+	v := NewValidator(eng, members, ValidatorConfig{
+		K: 2, Timeout: 50 * time.Millisecond, Shards: shards,
+	})
+	var results []Result
+	v.OnResult = func(r Result) { results = append(results, r) }
+	for i := 0; i < 240; i++ {
+		trig := fmt.Sprintf("τ%03d", i)
+		at := time.Duration(i) * time.Millisecond
+		submit := func(d time.Duration, r Response) {
+			eng.At(at+d, func() { v.Submit(r) })
+		}
+		switch i % 4 {
+		case 0: // full agreement, early valid decision
+			submit(0, cacheResp(1, 1, trig, "k", "up", 7))
+			submit(time.Millisecond, execResp(2, 1, trig, "k", "up", 7))
+			submit(2*time.Millisecond, execResp(3, 1, trig, "k", "up", 7))
+		case 1: // secondaries act, primary silent: omission at timeout
+			submit(0, execResp(2, 1, trig, "k", "up", 9))
+			submit(time.Millisecond, execResp(3, 1, trig, "k", "up", 9))
+		case 2: // same-state conflict quorum: value fault
+			submit(0, cacheResp(1, 1, trig, "k", "up", 7))
+			submit(time.Millisecond, execResp(2, 1, trig, "k", "down", 7))
+			submit(2*time.Millisecond, execResp(3, 1, trig, "k", "down", 7))
+		default: // side-effect-free replicated executions: no-op consensus
+			submit(0, doneResp(2, 1, trig, 7))
+			submit(time.Millisecond, doneResp(3, 1, trig, 7))
+		}
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	return results, v
+}
+
+// TestShardCountInvariance is the inline-sharding determinism contract:
+// for a fixed input, the full decision sequence — verdicts, fault
+// classes, decision times, evidence — must be identical at any shard
+// count, because triggers partition disjointly, ψ updates broadcast in
+// order, and all shards share the engine's event order.
+func TestShardCountInvariance(t *testing.T) {
+	ref, vref := shardScenario(t, 1)
+	if len(ref) == 0 {
+		t.Fatal("scenario decided nothing")
+	}
+	if vref.Faults() == 0 {
+		t.Fatal("scenario raised no alarms — too benign to prove invariance")
+	}
+	for _, shards := range []int{2, 8} {
+		got, v := shardScenario(t, shards)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("shards=%d: decision sequence diverges from single-shard reference (%d vs %d results)",
+				shards, len(got), len(ref))
+		}
+		if v.Faults() != vref.Faults() || v.Decided() != vref.Decided() ||
+			v.Timeouts() != vref.Timeouts() || v.NonDeterministic() != vref.NonDeterministic() {
+			t.Fatalf("shards=%d: aggregate counters diverge", shards)
+		}
+		if !reflect.DeepEqual(vref.Alarms(), v.Alarms()) {
+			t.Fatalf("shards=%d: alarm list diverges", shards)
+		}
+		if v.FalsePositiveRate() != vref.FalsePositiveRate() {
+			t.Fatalf("shards=%d: false-positive rate diverges", shards)
+		}
+		if got := v.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+	}
+}
+
+func TestShardPendingPartition(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster,
+		[]store.NodeID{1, 2, 3}, []topo.DPID{1})
+	v := NewValidator(eng, members, ValidatorConfig{K: 2, Timeout: time.Second, Shards: 4})
+	for i := 0; i < 40; i++ {
+		v.Submit(cacheResp(1, 1, fmt.Sprintf("τ%d", i), "k", "up", 7))
+	}
+	if got := v.Pending(); got != 40 {
+		t.Fatalf("Pending() = %d, want 40", got)
+	}
+	sum := 0
+	for i := 0; i < v.Shards(); i++ {
+		sum += v.ShardPending(i)
+	}
+	if sum != 40 {
+		t.Fatalf("per-shard pending sums to %d, want 40", sum)
+	}
+}
+
+// TestAccessorsSafeUnderConcurrentSubmit exercises the satellite contract:
+// Pending(), Alarms() and the counter accessors must be safe to call from
+// live goroutines while the decision loop runs. The suite runs under
+// -race in CI, so any unsynchronized read fails here.
+func TestAccessorsSafeUnderConcurrentSubmit(t *testing.T) {
+	eng := simnet.NewEngine(1)
+	members := cluster.NewMembership(cluster.AnyControllerOneMaster,
+		[]store.NodeID{1, 2, 3}, []topo.DPID{1, 2})
+	v := NewValidator(eng, members, ValidatorConfig{K: 2, Timeout: 20 * time.Millisecond, Shards: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = v.Pending()
+				_ = v.Alarms()
+				_ = v.Faults()
+				_ = v.Decided()
+				_ = v.FalsePositiveRate()
+				for s := 0; s < v.Shards(); s++ {
+					_ = v.ShardPending(s)
+				}
+			}
+		}()
+	}
+	// The decision loop stays on this goroutine (the sim contract); the
+	// readers race against Submit, timer expiry and alarm retention.
+	for i := 0; i < 2000; i++ {
+		trig := fmt.Sprintf("τ%d", i)
+		at := time.Duration(i) * 100 * time.Microsecond
+		eng.At(at, func() { v.Submit(execResp(2, 1, trig, "k", "up", 9)) })
+		eng.At(at, func() { v.Submit(execResp(3, 1, trig, "k", "up", 9)) })
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if v.Faults() == 0 {
+		t.Fatal("omission workload raised no alarms")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending() = %d after idle, want 0", v.Pending())
+	}
+}

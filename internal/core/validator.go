@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/jurysdn/jury/internal/cluster"
@@ -128,6 +129,17 @@ type ValidatorConfig struct {
 	AdaptiveFactor float64
 	// MaxAlarms bounds the retained alarm list.
 	MaxAlarms int
+	// Shards partitions validator state by trigger taint-ID across this
+	// many shards (default 1, the paper's single decision loop). Each
+	// shard owns the pending map, Ψ table, adaptive-timeout estimator and
+	// timers of the triggers FNV-hashed onto it; untainted ψ updates are
+	// broadcast so every shard sees the same controller state. Because
+	// triggers partition disjointly and the broadcast preserves
+	// submission order, verdicts, traces and aggregate counters are
+	// identical at any shard count for a fixed seed (with Adaptive on,
+	// each shard tracks its own trigger population's latency, so adaptive
+	// deadlines may legitimately differ across shard counts).
+	Shards int
 	// NoStateAware disables the state-aware consensus refinements
 	// (§IV-C A) — an ablation knob: all conflicting replicas count
 	// toward conviction regardless of their snapshots, and omission
@@ -143,7 +155,14 @@ type ValidatorConfig struct {
 	Tracer *obs.Tracer
 }
 
-// Validator is JURY's out-of-band response validator (Algorithm 1).
+// Validator is JURY's out-of-band response validator (Algorithm 1),
+// refactored into a thin dispatch plane over per-taint state shards: the
+// consensus/sanity/policy cascade itself is unchanged, but every mutable
+// structure (pending map, Ψ, timers, EWMA) lives on exactly one vshard.
+// Aggregate accessors merge shard state through atomics and immutable
+// snapshots, so they are safe to call while another goroutine owns the
+// decision loop (the live wire service and the parallel shard plane both
+// do).
 type Validator struct {
 	eng     *simnet.Engine
 	cfg     ValidatorConfig
@@ -165,15 +184,9 @@ type Validator struct {
 	// OnResult observes every decision.
 	OnResult func(Result)
 
-	// Ψ: per-controller state (running count + latest entry digest).
-	psi map[store.NodeID]psiState
-
-	pending map[trigger.ID]*pendingTrigger
-
-	// Adaptive timeout state (EWMA of consensus time and deviation).
-	ewmaMean float64
-	ewmaDev  float64
-	ewmaInit bool
+	// shards are the per-taint state partitions; Submit dispatches by
+	// FNV over the trigger ID.
+	shards []*vshard
 
 	// Aggregates. The counters live in the obs registry so a live
 	// /metrics endpoint can scrape them; the accessors below are thin
@@ -188,42 +201,12 @@ type Validator struct {
 	totalNonDet        *obs.Counter
 	totalTimeouts      *obs.Counter
 	lateResponses      *obs.Counter
-	alarms             []Result
-}
-
-type psiState struct {
-	count  uint64
-	latest string
-	// digest is the controller's last self-reported state snapshot,
-	// used to make omission conviction state-aware.
-	digest uint64
-	seen   bool
-	at     time.Duration
-}
-
-type pendingTrigger struct {
-	id       trigger.ID
-	firstAt  time.Duration
-	timer    *simnet.Event
-	tainted  bool
-	decided  bool
-	respones int
-
-	// primaryPsi snapshots Ψ[primary] when the trigger opened, i.e. the
-	// primary's last self-reported state close to when the secondaries
-	// replayed the trigger.
-	primaryPsi    psiState
-	primaryPsiSet bool
-
-	// Per-controller responses.
-	byController map[store.NodeID][]Response
-	// primary is learned from response attribution.
-	primary store.NodeID
-	// noops counts secondaries that reported a side-effect-free
-	// replicated execution.
-	noops map[store.NodeID]bool
-
-	all []Response
+	// pendingG counts open pending entries across shards; an atomic
+	// gauge, so Pending() is safe under concurrent Submit.
+	pendingG *obs.Gauge
+	// alarms retains fault results as a single-writer snapshot log, so
+	// Alarms() is safe under concurrent Submit.
+	alarms obs.Log[Result]
 }
 
 // NewValidator creates a validator. members provides governance information
@@ -238,6 +221,9 @@ func NewValidator(eng *simnet.Engine, members *cluster.Membership, cfg Validator
 	if cfg.AdaptiveFactor <= 0 {
 		cfg.AdaptiveFactor = 4
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -248,8 +234,6 @@ func NewValidator(eng *simnet.Engine, members *cluster.Membership, cfg Validator
 		members: members,
 		reg:     reg,
 		tracer:  cfg.Tracer,
-		psi:     make(map[store.NodeID]psiState),
-		pending: make(map[trigger.ID]*pendingTrigger),
 	}
 	v.totalDecided = reg.Counter("jury_validator_decided_total", "Triggers decided.")
 	v.totalValid = reg.Counter("jury_validator_valid_total", "Triggers judged valid.")
@@ -257,10 +241,33 @@ func NewValidator(eng *simnet.Engine, members *cluster.Membership, cfg Validator
 	v.totalNonDet = reg.Counter("jury_validator_nondeterministic_total", "Triggers labeled non-deterministic.")
 	v.totalTimeouts = reg.Counter("jury_validator_timeouts_total", "Decisions forced by timer expiry.")
 	v.lateResponses = reg.Counter("jury_validator_late_responses_total", "Responses arriving after the verdict.")
-	reg.GaugeFunc("jury_validator_pending", "Triggers awaiting decision.",
-		func() float64 { return float64(len(v.pending)) })
+	v.pendingG = reg.Gauge("jury_validator_pending", "Triggers awaiting decision.")
 	reg.Histogram("jury_validator_detection_seconds", "Detection time per decided trigger.", &v.Detections)
 	reg.Histogram("jury_validator_detection_external_seconds", "Detection time for external triggers (Figs. 4a-4d).", &v.DetectionsExternal)
+	v.shards = make([]*vshard, cfg.Shards)
+	for i := range v.shards {
+		s := &vshard{
+			v:       v,
+			id:      i,
+			psi:     make(map[store.NodeID]psiState),
+			pending: make(map[trigger.ID]*pendingTrigger),
+		}
+		if cfg.Shards > 1 {
+			// Per-shard children of the validator families; the
+			// unlabeled aggregates above keep their PR 4 identity.
+			l := obs.L("shard", strconv.Itoa(i))
+			s.pendingG = reg.Gauge("jury_validator_shard_pending", "Triggers awaiting decision, per shard.", l)
+			s.decidedC = reg.Counter("jury_validator_shard_decided_total", "Triggers decided, per shard.", l)
+			s.faultsC = reg.Counter("jury_validator_shard_faults_total", "Alarms raised, per shard.", l)
+		} else {
+			// Unregistered zero-value instances keep the hot path free
+			// of nil checks without polluting single-shard /metrics.
+			s.pendingG = &obs.Gauge{}
+			s.decidedC = &obs.Counter{}
+			s.faultsC = &obs.Counter{}
+		}
+		v.shards[i] = s
+	}
 	return v
 }
 
@@ -286,13 +293,6 @@ func (v *Validator) NonDeterministic() int64 { return v.totalNonDet.Value() }
 // Timeouts returns the number of decisions forced by timer expiry.
 func (v *Validator) Timeouts() int64 { return v.totalTimeouts.Value() }
 
-// Alarms returns the retained alarm results.
-func (v *Validator) Alarms() []Result {
-	out := make([]Result, len(v.alarms))
-	copy(out, v.alarms)
-	return out
-}
-
 // FalsePositiveRate returns alarms / decisions — meaningful on benign runs.
 func (v *Validator) FalsePositiveRate() float64 {
 	decided := v.totalDecided.Value()
@@ -302,176 +302,12 @@ func (v *Validator) FalsePositiveRate() float64 {
 	return float64(v.totalFaults.Value()) / float64(decided)
 }
 
-// Pending returns the number of triggers awaiting decision.
-func (v *Validator) Pending() int { return len(v.pending) }
-
-// Submit delivers one controller response ρ = (id, τ, entry) to the
-// validator. This is the main loop of Algorithm 1.
-func (v *Validator) Submit(r Response) {
-	// Update Ψ for this controller on cache entries.
-	if !r.Tainted {
-		st := v.psi[r.Controller]
-		if r.IsCache() {
-			st.count++
-			st.latest = r.Body()
-		}
-		st.digest = r.StateDigest
-		st.seen = true
-		st.at = v.eng.Now()
-		v.psi[r.Controller] = st
-	}
-	if r.Trigger == "" {
-		return // unattributed traffic (handshakes) is not validated
-	}
-	p, ok := v.pending[r.Trigger]
-	if !ok {
-		p = &pendingTrigger{
-			id:           r.Trigger,
-			firstAt:      v.eng.Now(),
-			byController: make(map[store.NodeID][]Response),
-			noops:        make(map[store.NodeID]bool),
-		}
-		p.timer = v.eng.Schedule(v.timeout(), func() { v.expire(p) })
-		v.pending[r.Trigger] = p
-		if v.tracer != nil {
-			id := string(r.Trigger)
-			// Ensure a root exists (idempotent: the replicator's
-			// replicate-time open wins for external triggers; internal
-			// triggers open here).
-			v.tracer.StartTrigger(id, "")
-			v.tracer.StartSpan(id, "validate", "validator")
-		}
-	}
-	if p.decided {
-		v.lateResponses.Inc()
-		return
-	}
-	p.respones++
-	p.all = append(p.all, r)
-	p.byController[r.Controller] = append(p.byController[r.Controller], r)
-	if r.Tainted {
-		p.tainted = true
-	}
-	if r.Kind == ExecDone {
-		p.noops[r.Controller] = true
-	}
-	if r.Primary != 0 {
-		p.primary = r.Primary
-		if !p.primaryPsiSet {
-			p.primaryPsi = v.psi[r.Primary]
-			p.primaryPsiSet = true
-		}
-	}
-	// Early decision once an unambiguous outcome exists (consensus
-	// reached on every slot and sanity satisfied, or a quorum already
-	// contradicts the primary).
-	if res, conclusive := v.evaluate(p, false); conclusive {
-		v.finish(p, res, false)
-	}
-}
-
-func (v *Validator) timeout() time.Duration {
-	if !v.cfg.Adaptive || !v.ewmaInit {
-		return v.cfg.Timeout
-	}
-	t := time.Duration(v.ewmaMean + v.cfg.AdaptiveFactor*v.ewmaDev)
-	if min := 2 * time.Millisecond; t < min {
-		t = min
-	}
-	if t > v.cfg.Timeout {
-		t = v.cfg.Timeout
-	}
-	return t
-}
-
-func (v *Validator) expire(p *pendingTrigger) {
-	if p.decided {
-		return
-	}
-	v.totalTimeouts.Inc()
-	if v.OnTimeoutResponses != nil {
-		v.OnTimeoutResponses(p.id, p.all)
-	}
-	v.decide(p, true)
-}
-
-// decide runs the full CONSENSUS / SANITY_CHECK / POLICY_CHECK cascade and
-// finishes the trigger.
-func (v *Validator) decide(p *pendingTrigger, timedOut bool) {
-	res, _ := v.evaluate(p, true)
-	v.finish(p, res, timedOut)
-}
-
-func (v *Validator) finish(p *pendingTrigger, res Result, timedOut bool) {
-	p.decided = true
-	p.timer.Cancel()
-	// Retain the decided entry for a grace period so responses still in
-	// flight are absorbed as late responses rather than resurrecting the
-	// trigger as a ghost that would time out as a spurious omission.
-	grace := 2 * v.cfg.Timeout
-	if grace < time.Second {
-		grace = time.Second
-	}
-	v.eng.Schedule(grace, func() { delete(v.pending, p.id) })
-	res.Trigger = p.id
-	res.Responses = p.respones
-	res.DecidedAt = v.eng.Now()
-	res.DetectionTime = res.DecidedAt - p.firstAt
-	res.TimedOut = timedOut
-	v.Detections.Add(res.DetectionTime)
-	if res.Kind == trigger.External {
-		v.DetectionsExternal.Add(res.DetectionTime)
-	}
-	v.updateAdaptive(res.DetectionTime)
-	v.totalDecided.Inc()
-	switch res.Verdict {
-	case VerdictValid:
-		v.totalValid.Inc()
-	case VerdictNonDeterministic:
-		v.totalNonDet.Inc()
-	case VerdictFault:
-		v.totalFaults.Inc()
-		evidence := p.all
-		if len(evidence) > 32 {
-			evidence = evidence[:32]
-		}
-		res.Evidence = append([]Response(nil), evidence...)
-		if len(v.alarms) < v.cfg.MaxAlarms {
-			v.alarms = append(v.alarms, res)
-		}
-	}
-	if v.tracer != nil {
-		id := string(p.id)
-		v.tracer.EndSpan(id, "validate", "validator", res.Reason)
-		v.tracer.EndTrigger(id, res.Verdict.String(), res.Fault.String())
-	}
-	if v.OnResult != nil {
-		v.OnResult(res)
-	}
-}
-
-func (v *Validator) updateAdaptive(d time.Duration) {
-	const alpha = 0.05
-	x := float64(d)
-	if !v.ewmaInit {
-		v.ewmaMean = x
-		v.ewmaInit = true
-		return
-	}
-	dev := x - v.ewmaMean
-	if dev < 0 {
-		dev = -dev
-	}
-	v.ewmaMean = (1-alpha)*v.ewmaMean + alpha*x
-	v.ewmaDev = (1-alpha)*v.ewmaDev + alpha*dev
-}
-
 // evaluate implements the consensus core. When final is false it only
 // reports conclusive early outcomes; at expiry (final=true) it always
 // returns a result.
 func (v *Validator) evaluate(p *pendingTrigger, final bool) (Result, bool) {
 	kind := trigger.Internal
-	if p.tainted || p.respones > v.cfg.K+2 {
+	if p.tainted || p.responses > v.cfg.K+2 {
 		kind = trigger.External
 	}
 	res := Result{Kind: kind, Verdict: VerdictValid}

@@ -1,0 +1,47 @@
+package obs
+
+import "sync/atomic"
+
+// Log is a single-writer, many-reader append log with lock-free
+// snapshots. The writer (a simulation event handler, or a shard worker
+// that owns the log) appends without locks; readers on other goroutines
+// take consistent views through an atomic pointer. This is what makes
+// sim-contract packages (no sync primitives allowed) safely scrapeable
+// from live goroutines: the validator's alarm list is one of these, so a
+// shard plane or exposition server can read alarms while the decision
+// loop keeps appending.
+//
+// Append is NOT safe for concurrent writers — ownership of the write side
+// must be a single goroutine at a time, which is exactly the shard
+// ownership discipline the validation plane enforces. The published view
+// shares the append buffer's backing array: the writer only ever writes
+// at indexes past every published view's length, and the atomic publish
+// orders those writes before any reader can observe the new length.
+type Log[T any] struct {
+	buf  []T
+	snap atomic.Pointer[[]T]
+}
+
+// Append adds one entry. Single writer only.
+func (l *Log[T]) Append(v T) {
+	l.buf = append(l.buf, v)
+	view := l.buf[:len(l.buf):len(l.buf)]
+	l.snap.Store(&view)
+}
+
+// Len returns the number of entries in the current published view.
+func (l *Log[T]) Len() int {
+	if s := l.snap.Load(); s != nil {
+		return len(*s)
+	}
+	return 0
+}
+
+// Snapshot returns the current immutable view (capacity-capped, so an
+// append by a consumer cannot reach into the log's backing array).
+func (l *Log[T]) Snapshot() []T {
+	if s := l.snap.Load(); s != nil {
+		return *s
+	}
+	return nil
+}

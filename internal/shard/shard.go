@@ -1,0 +1,552 @@
+// Package shard is the parallel validation plane: it scales JURY's
+// out-of-band validator (internal/core, Algorithm 1) across N worker
+// goroutines by partitioning triggers over per-shard bounded queues.
+//
+// A thin dispatcher hashes Response.Trigger (FNV-1a64, the same family
+// internal/sweep uses for seed derivation — see core.ShardForTrigger)
+// onto a shard; each worker owns a private simnet engine and a
+// single-shard core.Validator outright, so every pending map, Ψ table and
+// timer has exactly one writer and the sim contract holds inside each
+// worker. Untainted responses are broadcast to every worker (ψ updates
+// keep all shards' view of controller state identical); tainted responses
+// go only to the owning shard. Because each trigger's response
+// subsequence is delivered in submission order to a single owner, and
+// worker engines advance to each response's virtual timestamp before
+// submitting, verdicts are identical at any shard count for a fixed
+// input — the wall-clock interleaving of workers is invisible in the
+// results.
+//
+// Concurrency contract: Submit, Advance, Drain, Kill and Close form the
+// dispatch side and must be serialized by the caller (one dispatcher
+// goroutine, or an external lock — the wire server uses its own mutex).
+// The stats accessors (Decided, Faults, Pending, Alarms, ...) are safe
+// from any goroutine at any time: they read atomic counters and immutable
+// snapshots. The cluster membership handed to New must not be mutated
+// while the plane runs.
+//
+// This package is a jurylint concurrency bridge: it owns goroutines and
+// channels, unlike the sim-contract core it multiplies.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/jurysdn/jury/internal/cluster"
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/obs"
+	"github.com/jurysdn/jury/internal/simnet"
+	"github.com/jurysdn/jury/internal/trigger"
+)
+
+// DefaultQueueDepth bounds one shard's intake queue when Config leaves it
+// zero.
+const DefaultQueueDepth = 1024
+
+// Config parameterizes a validation plane.
+type Config struct {
+	// Shards is the worker count (default 1).
+	Shards int
+	// QueueDepth bounds each shard's intake queue (default
+	// DefaultQueueDepth). A full queue applies backpressure to the
+	// dispatcher — responses are never dropped — and each stall is
+	// counted in jury_shard_overflow_total.
+	QueueDepth int
+	// Validator carries K, timeout and adaptive settings for every
+	// worker's validator. Shards, Metrics and Tracer inside it are
+	// overridden: each worker runs single-sharded against a private
+	// registry, and the span tracer is single-goroutine so it cannot
+	// cross the plane.
+	Validator core.ValidatorConfig
+	// Members is the deployment's governance map, shared read-only by
+	// every worker.
+	Members *cluster.Membership
+	// TimeFromResponses, when set, advances each worker's engine to every
+	// response's virtual timestamp (Response.At) before submitting it, so
+	// per-trigger timers expire at exact virtual deadlines regardless of
+	// wall-clock interleaving — the deterministic mode tests and benches
+	// run. When unset the caller drives virtual time with Advance, the
+	// live service mode.
+	TimeFromResponses bool
+	// Seed seeds each worker engine (the validator draws no randomness,
+	// so this only matters to code sharing the engines).
+	Seed int64
+	// Metrics receives the plane's families (jury_shard_* and the
+	// aggregate jury_validator_* counters); nil creates a private
+	// registry reachable via Metrics().
+	Metrics *obs.Registry
+	// OnResult observes every decision from every shard. Calls are
+	// serialized by the plane; the hook must not call back into the
+	// dispatch side.
+	OnResult func(core.Result)
+}
+
+type itemKind uint8
+
+const (
+	itemResponse itemKind = iota + 1
+	itemAdvance
+	itemFlush
+	// itemStall blocks the worker on a gate channel — a test hook for
+	// deterministically building a backlog behind a live worker.
+	itemStall
+)
+
+// item is one entry on a shard's intake queue.
+type item struct {
+	kind  itemKind
+	r     core.Response
+	owner bool
+	to    time.Duration // vclock:wire -- advance target on the virtual time base
+	ack   chan struct{}
+	gate  chan struct{}
+}
+
+// worker is one shard: a goroutine that owns a private engine and
+// validator and consumes its intake queue.
+type worker struct {
+	id       int
+	timeFrom bool
+	eng      *simnet.Engine
+	v        *core.Validator
+	q        chan item
+	// dieC delivers the kill handshake: the dispatcher sends a reply
+	// channel, the worker answers with its unprocessed backlog and exits.
+	dieC chan chan []item
+	// dead is set by the dispatcher before the die handshake; the worker
+	// checks it before processing each item so nothing is validated after
+	// the shard is declared dead.
+	dead atomic.Bool
+
+	depth    *obs.Gauge
+	enqueued *obs.Counter
+	overflow *obs.Counter
+	steals   *obs.Counter
+}
+
+// Plane is a sharded validation plane.
+type Plane struct {
+	cfg     Config
+	reg     *obs.Registry
+	workers []*worker
+	// alive tracks which shards still run. Dispatcher-owned state: only
+	// the serialized Submit/Kill/Close side reads or writes it, so it
+	// needs no lock.
+	alive []bool
+	wg    sync.WaitGroup
+
+	// resMu serializes result aggregation and the user's OnResult hook
+	// across worker goroutines.
+	resMu    sync.Mutex
+	decided  *obs.Counter
+	valid    *obs.Counter
+	faults   *obs.Counter
+	nondet   *obs.Counter
+	timeouts *obs.Counter
+}
+
+// New builds and starts a validation plane. The workers run until Close.
+func New(cfg Config) (*Plane, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Members == nil {
+		return nil, fmt.Errorf("shard: no cluster membership configured")
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p := &Plane{
+		cfg:     cfg,
+		reg:     reg,
+		workers: make([]*worker, cfg.Shards),
+		alive:   make([]bool, cfg.Shards),
+	}
+	p.decided = reg.Counter("jury_validator_decided_total", "Triggers decided.")
+	p.valid = reg.Counter("jury_validator_valid_total", "Triggers judged valid.")
+	p.faults = reg.Counter("jury_validator_faults_total", "Alarms raised (fault verdicts).")
+	p.nondet = reg.Counter("jury_validator_nondeterministic_total", "Triggers labeled non-deterministic.")
+	p.timeouts = reg.Counter("jury_validator_timeouts_total", "Decisions forced by timer expiry.")
+	reg.GaugeFunc("jury_validator_pending", "Triggers awaiting decision across shards.",
+		func() float64 { return float64(p.Pending()) })
+	vcfg := cfg.Validator
+	vcfg.Shards = 1
+	vcfg.Metrics = nil // per-worker private registries; the plane aggregates
+	vcfg.Tracer = nil  // the span tracer is single-goroutine by contract
+	for i := range p.workers {
+		w := &worker{
+			id:       i,
+			timeFrom: cfg.TimeFromResponses,
+			eng:      simnet.NewEngine(cfg.Seed),
+			q:        make(chan item, cfg.QueueDepth),
+			dieC:     make(chan chan []item),
+		}
+		w.v = core.NewValidator(w.eng, cfg.Members, vcfg)
+		w.v.OnResult = p.onResult
+		l := obs.L("shard", strconv.Itoa(i))
+		w.depth = reg.Gauge("jury_shard_queue_depth", "Items queued to the shard's intake.", l)
+		w.enqueued = reg.Counter("jury_shard_enqueued_total", "Items enqueued to the shard.", l)
+		w.overflow = reg.Counter("jury_shard_overflow_total", "Backpressure stalls on a full shard queue.", l)
+		w.steals = reg.Counter("jury_shard_steals_total", "Responses adopted from a killed shard.", l)
+		p.workers[i] = w
+		p.alive[i] = true
+		p.wg.Add(1)
+		go w.run(&p.wg)
+	}
+	return p, nil
+}
+
+// SetOnResult installs (or replaces) the decision observer after New —
+// for callers that need the plane pointer inside the hook. Serialized
+// with result delivery; install it before the first Submit so no
+// decision slips past the hook.
+func (p *Plane) SetOnResult(fn func(core.Result)) {
+	p.resMu.Lock()
+	p.cfg.OnResult = fn
+	p.resMu.Unlock()
+}
+
+// onResult aggregates one worker decision into the plane counters and
+// relays it to the user hook, serialized across workers.
+func (p *Plane) onResult(r core.Result) {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	p.decided.Inc()
+	switch r.Verdict {
+	case core.VerdictValid:
+		p.valid.Inc()
+	case core.VerdictNonDeterministic:
+		p.nondet.Inc()
+	case core.VerdictFault:
+		p.faults.Inc()
+	}
+	if r.TimedOut {
+		p.timeouts.Inc()
+	}
+	if p.cfg.OnResult != nil {
+		p.cfg.OnResult(r)
+	}
+}
+
+// run is a worker's consume loop. Engine run errors are deliberately
+// dropped here, matching the wire server's live-service stance: a horizon
+// or stop error on one advance is benign for a plane that advances again
+// on the next item, and decisions themselves surface through OnResult.
+//
+//jurylint:allow errcrit -- benign Run errors for a live plane; see above
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case reply := <-w.dieC:
+			w.die(reply, nil)
+			return
+		case it := <-w.q:
+			w.depth.Add(-1)
+			if w.dead.Load() {
+				// Declared dead before this item was processed: stash
+				// everything still queued and wait for the kill
+				// handshake to hand it over.
+				backlog := append([]item{it}, w.drain()...)
+				w.die(<-w.dieC, backlog)
+				return
+			}
+			w.process(it)
+		}
+	}
+}
+
+// die flushes the worker's own validator — every open trigger decides or
+// alarms by timer expiry, never silently vanishing — then hands the
+// unprocessed backlog to the dispatcher and exits.
+//
+//jurylint:allow errcrit -- benign RunUntilIdle error at shard death
+func (w *worker) die(reply chan<- []item, backlog []item) {
+	backlog = append(backlog, w.drain()...)
+	_ = w.eng.RunUntilIdle()
+	reply <- backlog
+}
+
+// drain empties the intake queue without blocking.
+func (w *worker) drain() []item {
+	var out []item
+	for {
+		select {
+		case it := <-w.q:
+			w.depth.Add(-1)
+			out = append(out, it)
+		default:
+			return out
+		}
+	}
+}
+
+//jurylint:allow errcrit -- benign Run errors for a live plane; see run
+func (w *worker) process(it item) {
+	switch it.kind {
+	case itemResponse:
+		if w.timeFrom && it.r.At > w.eng.Now() {
+			_ = w.eng.Run(it.r.At)
+		}
+		if it.owner {
+			w.v.Submit(it.r)
+		} else {
+			w.v.ObserveState(it.r)
+		}
+	case itemAdvance:
+		if it.to > w.eng.Now() {
+			_ = w.eng.Run(it.to)
+		}
+	case itemFlush:
+		_ = w.eng.RunUntilIdle()
+		if it.ack != nil {
+			it.ack <- struct{}{}
+		}
+	case itemStall:
+		<-it.gate
+	}
+}
+
+// enqueue places one item on a worker's queue, blocking (and counting the
+// stall) when the queue is full: backpressure, never loss.
+func (p *Plane) enqueue(w *worker, it item) {
+	select {
+	case w.q <- it:
+	default:
+		w.overflow.Inc()
+		w.q <- it
+	}
+	w.enqueued.Inc()
+	w.depth.Add(1)
+}
+
+// ownerOf maps a trigger onto its live owning shard: the FNV home shard,
+// or the next live shard after it when the home was killed.
+func (p *Plane) ownerOf(id trigger.ID) int {
+	if id == "" {
+		return -1
+	}
+	n := len(p.workers)
+	home := core.ShardForTrigger(id, n)
+	for probe := 0; probe < n; probe++ {
+		if i := (home + probe) % n; p.alive[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// Submit dispatches one controller response. Untainted responses are
+// broadcast to every live shard (the ψ update) with the owner flag set on
+// the owning shard's copy; tainted responses go only to the owner.
+// Dispatch side: callers serialize.
+func (p *Plane) Submit(r core.Response) {
+	owner := p.ownerOf(r.Trigger)
+	if r.Tainted {
+		if owner >= 0 {
+			p.enqueue(p.workers[owner], item{kind: itemResponse, r: r, owner: true})
+		}
+		return
+	}
+	for i, w := range p.workers {
+		if !p.alive[i] {
+			continue
+		}
+		p.enqueue(w, item{kind: itemResponse, r: r, owner: i == owner})
+	}
+}
+
+// Advance asynchronously moves every live shard's virtual clock to the
+// given elapsed time, expiring per-trigger timers up to it — the live
+// service drives this from its wall-clock tick. Dispatch side: callers
+// serialize.
+func (p *Plane) Advance(to time.Duration) {
+	for i, w := range p.workers {
+		if p.alive[i] {
+			p.enqueue(w, item{kind: itemAdvance, to: to})
+		}
+	}
+}
+
+// Drain processes everything queued on every live shard and runs each
+// engine until idle, so every submitted trigger reaches a decision (timer
+// expiries included). It returns when all shards have flushed. Dispatch
+// side: callers serialize.
+func (p *Plane) Drain() {
+	acks := make([]chan struct{}, 0, len(p.workers))
+	for i, w := range p.workers {
+		if !p.alive[i] {
+			continue
+		}
+		ack := make(chan struct{}, 1)
+		p.enqueue(w, item{kind: itemFlush, ack: ack})
+		acks = append(acks, ack)
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// Kill abruptly stops one shard, models a worker crash, and hands its
+// queue to the next live shard: the dead worker stops processing
+// immediately, flushes its own open triggers through timer expiry (decided
+// or alarmed, never dropped), and its unprocessed backlog is adopted by
+// the successor (counted in jury_shard_steals_total). Returns the number
+// of adopted responses, or -1 when the shard is already dead or is the
+// last one alive. Dispatch side: callers serialize.
+//
+// A trigger split across the crash — some responses already processed by
+// the victim, the rest still in its backlog — is decided TWICE: the
+// victim's flush decides it from the responses it saw (usually an
+// omission alarm by timer expiry), then the successor re-opens it from
+// the adopted remainder and decides it again. That is the fail-safe
+// choice: the alternative, suppressing either half, could silently clear
+// a real fault. Consumers of OnResult and the aggregate counters must
+// therefore treat results per trigger ID idempotently across a Kill
+// (keep the first, or the more severe, verdict); Decided/Faults count
+// decisions, not distinct triggers, once a crash splits one.
+// TestPlaneKillSplitTrigger pins this contract.
+func (p *Plane) Kill(i int) int {
+	if i < 0 || i >= len(p.workers) || !p.alive[i] {
+		return -1
+	}
+	live := 0
+	for _, a := range p.alive {
+		if a {
+			live++
+		}
+	}
+	if live <= 1 {
+		return -1 // the plane must keep at least one shard
+	}
+	w := p.workers[i]
+	w.dead.Store(true)
+	p.alive[i] = false
+	reply := make(chan []item)
+	w.dieC <- reply
+	backlog := <-reply
+	adopted := 0
+	for _, it := range backlog {
+		switch it.kind {
+		case itemResponse:
+			// Non-owner copies were ψ broadcasts; every other live shard
+			// already received its own copy, so only owned responses move.
+			// The successor re-observes an adopted untainted response (its
+			// broadcast copy already updated ψ); the duplicate touches
+			// only Ψ bookkeeping counts, never verdicts.
+			if !it.owner {
+				continue
+			}
+			to := p.ownerOf(it.r.Trigger)
+			if to < 0 {
+				continue
+			}
+			p.enqueue(p.workers[to], item{kind: itemResponse, r: it.r, owner: true})
+			p.workers[to].steals.Inc()
+			adopted++
+		case itemFlush:
+			if it.ack != nil {
+				it.ack <- struct{}{} // the dead engine flushed in die
+			}
+		}
+	}
+	return adopted
+}
+
+// Close drains every live shard and stops all workers. Dispatch side:
+// callers serialize; no dispatch call may follow Close.
+func (p *Plane) Close() {
+	p.Drain()
+	for i, w := range p.workers {
+		if !p.alive[i] {
+			continue
+		}
+		w.dead.Store(true)
+		p.alive[i] = false
+		reply := make(chan []item)
+		w.dieC <- reply
+		<-reply // empty: the plane was drained and the dispatcher is here
+	}
+	p.wg.Wait()
+}
+
+// Metrics returns the registry carrying the plane's families.
+func (p *Plane) Metrics() *obs.Registry { return p.reg }
+
+// Shards returns the plane's shard count (live and dead).
+func (p *Plane) Shards() int { return len(p.workers) }
+
+// Decided returns the number of triggers decided across shards.
+func (p *Plane) Decided() int64 { return p.decided.Value() }
+
+// Valid returns the number of triggers judged valid across shards.
+func (p *Plane) Valid() int64 { return p.valid.Value() }
+
+// Faults returns the number of alarms raised across shards.
+func (p *Plane) Faults() int64 { return p.faults.Value() }
+
+// NonDeterministic returns the triggers labeled non-deterministic.
+func (p *Plane) NonDeterministic() int64 { return p.nondet.Value() }
+
+// Timeouts returns the decisions forced by timer expiry across shards.
+func (p *Plane) Timeouts() int64 { return p.timeouts.Value() }
+
+// Pending returns the triggers awaiting decision, summed across shards.
+func (p *Plane) Pending() int {
+	total := 0
+	for _, w := range p.workers {
+		total += w.v.Pending()
+	}
+	return total
+}
+
+// ShardDecided returns one shard's decided-trigger count.
+func (p *Plane) ShardDecided(i int) int64 {
+	if i < 0 || i >= len(p.workers) {
+		return 0
+	}
+	return p.workers[i].v.Decided()
+}
+
+// Steals returns the responses adopted from killed shards, summed.
+func (p *Plane) Steals() int64 {
+	var total int64
+	for _, w := range p.workers {
+		total += w.steals.Value()
+	}
+	return total
+}
+
+// FalsePositiveRate returns alarms / decisions across shards.
+func (p *Plane) FalsePositiveRate() float64 {
+	decided := p.decided.Value()
+	if decided == 0 {
+		return 0
+	}
+	return float64(p.faults.Value()) / float64(decided)
+}
+
+// Alarms returns the retained alarms merged across shards in decision
+// order (virtual decision time, then trigger ID — a deterministic total
+// order, since wall-clock worker interleaving must not show in output).
+func (p *Plane) Alarms() []core.Result {
+	var out []core.Result
+	for _, w := range p.workers {
+		out = append(out, w.v.Alarms()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DecidedAt != out[j].DecidedAt {
+			return out[i].DecidedAt < out[j].DecidedAt
+		}
+		return out[i].Trigger < out[j].Trigger
+	})
+	return out
+}

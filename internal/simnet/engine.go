@@ -124,6 +124,16 @@ func (e *Engine) Run(horizon time.Duration) error {
 			return fmt.Errorf("simnet: exceeded %d events at t=%v", e.MaxEvents, e.now)
 		}
 		next := e.queue[0]
+		if next.dead {
+			// Discard cancelled events here rather than letting Step skip
+			// them: Step would pop past the dead entry and execute the
+			// next live event even when it lies beyond the horizon,
+			// overshooting the clock (a decided trigger's cancelled timer
+			// at t≤horizon must not pull its grace event at t+grace into
+			// this run).
+			heap.Pop(&e.queue)
+			continue
+		}
 		if next.at > horizon {
 			break
 		}

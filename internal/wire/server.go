@@ -12,6 +12,7 @@ import (
 	"github.com/jurysdn/jury/internal/cluster"
 	"github.com/jurysdn/jury/internal/core"
 	"github.com/jurysdn/jury/internal/obs"
+	"github.com/jurysdn/jury/internal/shard"
 	"github.com/jurysdn/jury/internal/simnet"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
@@ -30,6 +31,19 @@ type ServerConfig struct {
 	// AlarmsOnly pushes only fault results to clients (default: all
 	// results are pushed).
 	AlarmsOnly bool
+	// Shards runs the validator as a parallel shard plane
+	// (internal/shard) with this many worker goroutines, responses
+	// dispatched by FNV over the trigger taint ID. Zero or one keeps the
+	// single engine+validator under the server lock — today's behavior.
+	// The plane cannot carry a per-trigger span tracer (the obs tracer is
+	// single-goroutine by contract), so Shards > 1 with Validator.Tracer
+	// set is rejected at Serve time rather than silently dropping spans.
+	Shards int
+	// QueueDepth bounds each shard's intake queue (default
+	// shard.DefaultQueueDepth); only meaningful with Shards > 1.
+	// Deployments tune it through ValidatorServiceConfig.QueueDepth
+	// (juryd -queue-depth).
+	QueueDepth int
 	// Tick is the wall-clock granularity at which validator timers fire
 	// (default 5ms).
 	Tick time.Duration
@@ -137,12 +151,24 @@ type srvConn struct {
 	enc  *json.Encoder
 	// lastSeen is the clock reading of the last received line; lastPing
 	// is when the last heartbeat probe went out. Both are protected by
-	// the server's mu.
-	lastSeen time.Time // guarded by mu
-	lastPing time.Time // guarded by mu
+	// the server's connsMu.
+	lastSeen time.Time // guarded by connsMu
+	lastPing time.Time // guarded by connsMu
 }
 
 // Server hosts a validator behind a TCP listener.
+//
+// Two locks split the server. mu serializes the dispatch side: the
+// engine/validator calls, and the plane's Submit/Advance (whose contract
+// requires one dispatcher). connsMu guards the connection registry and
+// every socket write, including the result broadcast. The only permitted
+// nesting is mu → connsMu (a single-engine validator decides inside
+// Submit and broadcasts synchronously); connsMu holders never dispatch
+// into the plane and only do deadline-bounded work. That asymmetry is
+// load-bearing: a shard worker delivering a result must not wait on mu,
+// because the dispatcher may hold mu while blocked on that same worker's
+// full intake queue (backpressure) — broadcast under mu would deadlock
+// the whole server.
 type Server struct {
 	ln  net.Listener
 	cfg ServerConfig
@@ -151,9 +177,16 @@ type Server struct {
 	mu        sync.Mutex
 	eng       *simnet.Engine  // guarded by mu
 	validator *core.Validator // guarded by mu
-	started   time.Time
-	conns     map[net.Conn]*srvConn // guarded by mu
-	closed    bool                  // guarded by mu
+	// plane replaces eng+validator when cfg.Shards > 1. The pointer is
+	// immutable after construction; its dispatch calls (Submit/Advance)
+	// still run under mu because the plane's dispatch side must be
+	// serialized, while its stats side is lock-free by contract.
+	plane   *shard.Plane
+	started time.Time
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]*srvConn // guarded by connsMu
+	closed  bool                  // guarded by connsMu
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -181,23 +214,59 @@ func ServeListener(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	if len(cfg.Members) == 0 {
 		return nil, fmt.Errorf("wire: no cluster members configured")
 	}
-	eng := simnet.NewEngine(0)
 	members := cluster.NewMembership(cluster.AnyControllerOneMaster, cfg.Members, cfg.Switches)
+	var (
+		eng       *simnet.Engine
+		validator *core.Validator
+		plane     *shard.Plane
+		reg       *obs.Registry
+	)
+	if cfg.Shards > 1 {
+		if cfg.Validator.Tracer != nil {
+			_ = ln.Close()
+			return nil, fmt.Errorf("wire: per-trigger tracing is single-goroutine and cannot cross the shard plane; unset Validator.Tracer or run with Shards <= 1")
+		}
+		var err error
+		plane, err = shard.New(shard.Config{
+			Shards:     cfg.Shards,
+			QueueDepth: cfg.QueueDepth,
+			Validator:  cfg.Validator,
+			Members:    members,
+			Metrics:    cfg.Metrics,
+		})
+		if err != nil {
+			_ = ln.Close()
+			return nil, fmt.Errorf("wire: shard plane: %w", err)
+		}
+		reg = plane.Metrics()
+	} else {
+		eng = simnet.NewEngine(0)
+		validator = core.NewValidator(eng, members, cfg.Validator)
+		reg = cfg.Metrics
+		if reg == nil {
+			reg = validator.Metrics()
+		}
+	}
 	s := &Server{
 		ln:        ln,
 		cfg:       cfg,
 		eng:       eng,
-		validator: core.NewValidator(eng, members, cfg.Validator),
+		validator: validator,
+		plane:     plane,
 		started:   cfg.Clock(),
 		conns:     make(map[net.Conn]*srvConn),
 		stop:      make(chan struct{}),
 	}
-	reg := cfg.Metrics
-	if reg == nil {
-		reg = s.validator.Metrics()
-	}
 	s.m = newServerMetrics(reg)
-	s.validator.OnResult = s.broadcast
+	// broadcast takes only connsMu, never mu: plane decisions land on
+	// worker goroutines, and a worker waiting on the dispatch lock while
+	// the dispatcher holds it blocked on that worker's full intake queue
+	// would freeze the server permanently.
+	if plane != nil {
+		plane.SetOnResult(s.broadcast)
+	} else {
+		validator.OnResult = s.broadcast
+	}
 	s.done.Add(2)
 	go s.acceptLoop()
 	go s.tickLoop()
@@ -209,6 +278,16 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Stats returns a snapshot of the validator counters.
 func (s *Server) Stats() Stats {
+	if s.plane != nil {
+		// Plane stats are atomic aggregates; no lock needed.
+		return Stats{
+			Decided:  s.plane.Decided(),
+			Valid:    s.plane.Valid(),
+			Faults:   s.plane.Faults(),
+			Timeouts: s.plane.Timeouts(),
+			Pending:  s.plane.Pending(),
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -227,6 +306,11 @@ func (s *Server) Stats() Stats {
 // hook of an obs exposition endpoint. When ServerConfig.Metrics was nil,
 // the page includes the jury_wire_* connection-lifecycle families.
 func (s *Server) WriteMetrics(w io.Writer) error {
+	if s.plane != nil {
+		// The plane's families are atomics and gauge funcs over atomics;
+		// the scrape needs no serialization against the workers.
+		return s.plane.Metrics().WritePrometheus(w)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.validator.Metrics().WritePrometheus(w)
@@ -234,31 +318,39 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 
 // Alarms returns the validator's retained alarms.
 func (s *Server) Alarms() []core.Result {
+	if s.plane != nil {
+		return s.plane.Alarms() // merged immutable snapshots; lock-free
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.validator.Alarms()
 }
 
 // Close stops the service and waits for its goroutines. Safe to call
-// more than once. The closed flag flips under mu before the connection
-// sweep, so a connection accepted concurrently can never be registered
-// after the sweep and leak a blocked reader past Close.
+// more than once. The closed flag flips under connsMu before the
+// connection sweep, so a connection accepted concurrently can never be
+// registered after the sweep and leak a blocked reader past Close.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
-		s.mu.Lock()
+		s.connsMu.Lock()
 		s.closed = true
 		conns := make([]net.Conn, 0, len(s.conns))
 		for conn := range s.conns {
 			conns = append(conns, conn)
 		}
-		s.mu.Unlock()
+		s.connsMu.Unlock()
 		close(s.stop)
 		err = s.ln.Close()
 		for _, conn := range conns {
 			_ = conn.Close()
 		}
 		s.done.Wait()
+		if s.plane != nil {
+			// All dispatchers (reader goroutines, tick loop) are gone;
+			// this is the plane's final serialized dispatch call.
+			s.plane.Close()
+		}
 	})
 	return err
 }
@@ -289,9 +381,9 @@ func (s *Server) acceptLoop() {
 		}
 		bo.Reset()
 		sc := &srvConn{conn: conn, enc: json.NewEncoder(conn)}
-		s.mu.Lock()
+		s.connsMu.Lock()
 		if s.closed {
-			s.mu.Unlock()
+			s.connsMu.Unlock()
 			_ = conn.Close()
 			return
 		}
@@ -299,7 +391,7 @@ func (s *Server) acceptLoop() {
 		sc.lastSeen = now
 		sc.lastPing = now
 		s.conns[conn] = sc
-		s.mu.Unlock()
+		s.connsMu.Unlock()
 		s.m.accepted.Inc()
 		s.m.open.Add(1)
 		s.done.Add(1)
@@ -320,8 +412,10 @@ func (s *Server) tickLoop() {
 		case <-ticker.C:
 			s.mu.Lock()
 			s.advance()
-			s.heartbeatSweep()
 			s.mu.Unlock()
+			s.connsMu.Lock()
+			s.heartbeatSweep()
+			s.connsMu.Unlock()
 		}
 	}
 }
@@ -333,12 +427,17 @@ func (s *Server) tickLoop() {
 //
 //jurylint:allow errcrit -- benign Run errors for a live service; see above
 func (s *Server) advance() {
-	_ = s.eng.Run(s.cfg.Clock().Sub(s.started))
+	elapsed := s.cfg.Clock().Sub(s.started)
+	if s.plane != nil {
+		s.plane.Advance(elapsed)
+		return
+	}
+	_ = s.eng.Run(elapsed)
 }
 
 // heartbeatSweep pings idle connections and reaps half-open peers whose
 // idle time passed IdleTimeout (a dead TCP peer never answers, so its
-// lastSeen stops moving). Runs with s.mu held from the tick loop.
+// lastSeen stops moving). Runs with s.connsMu held from the tick loop.
 func (s *Server) heartbeatSweep() {
 	if s.cfg.HeartbeatEvery <= 0 {
 		return
@@ -361,7 +460,7 @@ func (s *Server) heartbeatSweep() {
 
 // pushLocked encodes one envelope to a registered connection under a
 // write deadline; a failed or timed-out write drops the connection. Runs
-// with s.mu held.
+// with s.connsMu held.
 func (s *Server) pushLocked(conn net.Conn, sc *srvConn, env Envelope) {
 	armWriteDeadline(conn, s.cfg.WriteTimeout)
 	if err := sc.enc.Encode(env); err != nil {
@@ -370,8 +469,8 @@ func (s *Server) pushLocked(conn net.Conn, sc *srvConn, env Envelope) {
 	}
 }
 
-// dropConnLocked closes and unregisters one connection. Runs with s.mu
-// held; the connection's reader observes the close and exits.
+// dropConnLocked closes and unregisters one connection. Runs with
+// s.connsMu held; the connection's reader observes the close and exits.
 func (s *Server) dropConnLocked(conn net.Conn) {
 	if _, ok := s.conns[conn]; !ok {
 		return
@@ -389,9 +488,9 @@ func (s *Server) dropConnLocked(conn net.Conn) {
 func (s *Server) serveConn(sc *srvConn) {
 	defer s.done.Done()
 	defer func() {
-		s.mu.Lock()
+		s.connsMu.Lock()
 		s.dropConnLocked(sc.conn)
-		s.mu.Unlock()
+		s.connsMu.Unlock()
 	}()
 	lr := NewLineReader(sc.conn, s.cfg.MaxLineBytes)
 	for {
@@ -426,21 +525,25 @@ func (s *Server) serveConn(sc *srvConn) {
 			s.m.responses.Inc()
 			s.mu.Lock()
 			s.advance()
-			s.validator.Submit(*env.Response)
+			if s.plane != nil {
+				s.plane.Submit(*env.Response)
+			} else {
+				s.validator.Submit(*env.Response)
+			}
 			s.mu.Unlock()
 		case TypeStats:
 			st := s.Stats()
-			s.mu.Lock()
+			s.connsMu.Lock()
 			if cur, ok := s.conns[sc.conn]; ok {
 				s.pushLocked(sc.conn, cur, Envelope{Type: TypeStats, Stats: &st})
 			}
-			s.mu.Unlock()
+			s.connsMu.Unlock()
 		case TypePing:
-			s.mu.Lock()
+			s.connsMu.Lock()
 			if cur, ok := s.conns[sc.conn]; ok {
 				s.pushLocked(sc.conn, cur, Envelope{Type: TypePong})
 			}
-			s.mu.Unlock()
+			s.connsMu.Unlock()
 		case TypePong:
 			s.m.pongsReceived.Inc()
 		}
@@ -449,23 +552,27 @@ func (s *Server) serveConn(sc *srvConn) {
 
 // touch records liveness for the heartbeat sweep.
 func (s *Server) touch(sc *srvConn) {
-	s.mu.Lock()
+	s.connsMu.Lock()
 	sc.lastSeen = s.cfg.Clock()
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 }
 
 // broadcast pushes a result to every connected client; a client whose
 // write fails is dropped from the registry so later broadcasts stop
-// encoding to a dead peer. Installed as the validator's OnResult hook, so
-// no call graph can prove its entry lock-set (validator decisions happen
-// inside Submit/tick, under s.mu).
-//
-//jurylint:holds mu -- invoked via OnResult from Submit/advance under s.mu
+// encoding to a dead peer. It is the result hook of both modes: a
+// single-engine validator invokes it synchronously inside Submit/advance
+// (mu held — the permitted mu → connsMu nesting), the shard plane
+// invokes it from worker goroutines with no server lock held. It takes
+// only connsMu and never calls into the dispatch side, so a worker
+// delivering a result cannot deadlock against a dispatcher blocked on
+// that worker's full intake queue.
 func (s *Server) broadcast(r core.Result) {
 	if s.cfg.AlarmsOnly && r.Verdict != core.VerdictFault {
 		return
 	}
 	env := Envelope{Type: TypeResult, Result: &r}
+	s.connsMu.Lock()
+	defer s.connsMu.Unlock()
 	for conn, sc := range s.conns {
 		s.pushLocked(conn, sc, env)
 	}

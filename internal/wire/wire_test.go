@@ -1,11 +1,13 @@
 package wire
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/store"
 	"github.com/jurysdn/jury/internal/topo"
 	"github.com/jurysdn/jury/internal/trigger"
@@ -273,4 +275,84 @@ func TestServerWithInjectedClock(t *testing.T) {
 	fake = fake.Add(time.Second)
 	mu.Unlock()
 	waitFor(t, func() bool { return s.Stats().Timeouts == 1 })
+}
+
+// TestServerShardPlaneBroadcastUnderBackpressure is the regression test
+// for the plane-mode broadcast deadlock: with depth-1 shard queues, a
+// connected client receiving every result, and a sustained submit
+// stream, workers deliver results while the dispatcher is blocked on
+// their full intake queues. Result delivery must never wait on the
+// dispatch lock — under the old locking (broadcast re-acquiring s.mu
+// from worker goroutines) this test wedged the server permanently.
+func TestServerShardPlaneBroadcastUnderBackpressure(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		Validator:  core.ValidatorConfig{K: 2, Timeout: 500 * time.Millisecond},
+		Members:    []store.NodeID{1, 2, 3},
+		Switches:   []topo.DPID{1},
+		Tick:       time.Millisecond,
+		Shards:     2,
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var (
+		rmu     sync.Mutex
+		results int
+	)
+	c.OnResult = func(core.Result) {
+		rmu.Lock()
+		results++
+		rmu.Unlock()
+	}
+	const triggers = 200
+	for i := 0; i < triggers; i++ {
+		trig := fmt.Sprintf("τ%d", i)
+		if err := c.Send(resp(1, trig, core.CacheUpdate, false, "up")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(resp(2, trig, core.SecondaryExec, true, "up")); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(resp(3, trig, core.SecondaryExec, true, "up")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		rmu.Lock()
+		defer rmu.Unlock()
+		return results == triggers
+	})
+	if st := s.Stats(); st.Decided != triggers || st.Valid != triggers {
+		t.Fatalf("stats = %+v, want %d valid decisions", st, triggers)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after backpressure load: %v", err)
+	}
+}
+
+// TestServeRejectsTracerWithShardPlane pins the tracing limitation as an
+// explicit configuration error: the per-trigger span tracer is
+// single-goroutine and cannot cross the shard plane, so enabling both
+// must fail loudly instead of silently dropping spans.
+func TestServeRejectsTracerWithShardPlane(t *testing.T) {
+	_, err := Serve("127.0.0.1:0", ServerConfig{
+		Validator: core.ValidatorConfig{
+			K:       2,
+			Timeout: 100 * time.Millisecond,
+			Tracer:  obs.NewTracer(func() time.Duration { return 0 }),
+		},
+		Members:  []store.NodeID{1, 2, 3},
+		Switches: []topo.DPID{1},
+		Shards:   2,
+	})
+	if err == nil {
+		t.Fatal("Serve accepted Tracer together with Shards > 1")
+	}
 }

@@ -169,6 +169,7 @@ func (s *Simulation) wireJury() error {
 			Timeout:      cfg.ValidationTimeout,
 			Adaptive:     cfg.AdaptiveTimeout,
 			NoStateAware: cfg.NoStateAware,
+			Shards:       cfg.Shards,
 		},
 		RelayAll: cfg.RelayAll,
 		Metrics:  cfg.Metrics,
@@ -372,6 +373,8 @@ func ServeValidator(addr string, cfg ValidatorServiceConfig) (*wire.Server, erro
 			Timeout:  cfg.ValidationTimeout,
 			Adaptive: cfg.AdaptiveTimeout,
 		},
+		Shards:         cfg.Shards,
+		QueueDepth:     cfg.QueueDepth,
 		Members:        ids,
 		Switches:       ds,
 		AlarmsOnly:     cfg.AlarmsOnly,

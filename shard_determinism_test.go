@@ -1,0 +1,103 @@
+package jury
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/faults"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/workload"
+)
+
+// shardedScenario runs the golden 4-switch scenario with the validator
+// partitioned across the given shard count and one controller dropping a
+// FLOW_MOD (so the run raises real alarms), returning the full decision
+// sequence, the JSONL trace and the simulation for counter reads.
+func shardedScenario(t *testing.T, seed int64, shards int) ([]core.Result, string, *Simulation) {
+	t.Helper()
+	top, err := topo.Linear(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(Config{
+		Seed:           seed,
+		Kind:           ONOS,
+		ClusterSize:    3,
+		EnableJury:     true,
+		K:              2,
+		Shards:         shards,
+		CustomTopology: top,
+		EnableTracing:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []core.Result
+	sim.Validator().OnResult = func(r core.Result) { results = append(results, r) }
+	sim.Boot()
+	faults.InjectFlowModDrop(sim.Controller(1), 1)
+	until := sim.Now() + 500*time.Millisecond
+	sim.Driver.LocalPairs = true
+	sim.Driver.Start(workload.ConstantRate(200), until)
+	if err := sim.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := sim.Tracer().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return results, b.String(), sim
+}
+
+// TestShardCountDeterminism is the sharded validation plane's end-to-end
+// acceptance test: for a fixed seed, the complete decision sequence, the
+// fault count and the golden JSONL trace must be byte-identical whether
+// the validator runs on one shard or eight. Sharding is a throughput
+// lever, never a semantic one.
+func TestShardCountDeterminism(t *testing.T) {
+	const seed = 7
+	ref, refTrace, refSim := shardedScenario(t, seed, 1)
+	if len(ref) == 0 {
+		t.Fatal("scenario decided nothing")
+	}
+	if refSim.Validator().Faults() == 0 {
+		t.Fatal("injected FLOW_MOD drop raised no alarm — too benign to validate")
+	}
+	for _, shards := range []int{2, 8} {
+		got, trace, sim := shardedScenario(t, seed, shards)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("shards=%d: decision sequence diverges from single-shard reference (%d vs %d results)",
+				shards, len(got), len(ref))
+		}
+		if trace != refTrace {
+			t.Fatalf("shards=%d: golden trace diverges (%d bytes vs %d reference)",
+				shards, len(trace), len(refTrace))
+		}
+		v, vref := sim.Validator(), refSim.Validator()
+		if v.Decided() != vref.Decided() || v.Faults() != vref.Faults() ||
+			v.Timeouts() != vref.Timeouts() || v.NonDeterministic() != vref.NonDeterministic() {
+			t.Fatalf("shards=%d: aggregate counters diverge", shards)
+		}
+		if !reflect.DeepEqual(vref.Alarms(), v.Alarms()) {
+			t.Fatalf("shards=%d: alarm list diverges", shards)
+		}
+	}
+}
+
+// TestShardConfigValidation pins the façade contract: negative shard
+// counts are rejected, zero defaults to the paper's single decision loop.
+func TestShardConfigValidation(t *testing.T) {
+	if _, err := New(Config{Kind: ONOS, ClusterSize: 3, EnableJury: true, K: 2, Shards: -1}); err == nil {
+		t.Fatal("New accepted a negative shard count")
+	}
+	sim, err := New(Config{Kind: ONOS, ClusterSize: 3, EnableJury: true, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Validator().Shards(); got != 1 {
+		t.Fatalf("default Shards() = %d, want 1", got)
+	}
+}
