@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify figures bench bench-shard trace
+.PHONY: build test race lint verify figures bench bench-shard bench-load trace
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,16 @@ bench:
 bench-shard:
 	$(GO) test -run '^$$' -bench BenchmarkShardScaling -benchtime 10x . \
 	  | $(GO) run ./cmd/benchjson > BENCH_shard.json
+
+# bench-load mints BENCH_load.json: the generator hot path (events/s of
+# streaming synthesis, zero allocs) plus the plane's Submit throughput
+# under the streaming FatTree(8) workload at 1/2/4/8 shards (see the
+# BenchmarkLoadStreamScaling doc comment and EXPERIMENTS.md for how to
+# read submit_per_s/partition_x against the bottleneck shard).
+bench-load:
+	{ $(GO) test -run '^$$' -bench BenchmarkSourceNext -benchmem ./internal/loadgen; \
+	  $(GO) test -run '^$$' -bench BenchmarkLoadStreamScaling -benchtime 3x .; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_load.json
 
 # trace produces an example Chrome trace_event file from the quickstart
 # scenario; open trace.json in chrome://tracing or https://ui.perfetto.dev.

@@ -1,0 +1,136 @@
+// Command juryload runs the scale campaign: it sweeps streaming-workload
+// trigger rates against validation-plane shard widths on a Clos
+// fat-tree fabric and prints one row per (rate, shards) point —
+// detection-latency percentiles, false-positive rate, partition factor
+// and estimated Submit capacity. The workload is synthesized lazily by
+// internal/loadgen (heavy-tailed arrivals, host churn, link flaps), so
+// host populations far beyond the fabric's physical ports cost nothing.
+//
+// Usage:
+//
+//	juryload -k 8 -rates 10000,100000,1000000 -shards 1,2,4,8 -window 200ms
+//	juryload -smoke              # one brief point on a 1125-switch FatTree(30)
+//	juryload -k 8 -hosts 16777216 -drop 0.001 -rates 50000 -shards 4
+//
+// Every row is deterministic for a given -seed (wall-clock columns
+// aside): the same campaign at -parallel 1 and -parallel 8 prints the
+// same digests and verdict counts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/jurysdn/jury/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		k        = flag.Int("k", 8, "fat-tree arity (even): 5k²/4 switches, k³/4 hosts")
+		hosts    = flag.Uint64("hosts", 0, "virtual host population (0 = the fabric's physical k³/4; larger values wrap onto edge ports)")
+		rates    = flag.String("rates", "10000,100000,1000000,4000000", "comma-separated trigger rates to sweep (flows/s of virtual time)")
+		shards   = flag.String("shards", "1,2,4,8", "comma-separated validation-plane widths to sweep")
+		window   = flag.Duration("window", 100*time.Millisecond, "virtual measurement window per point")
+		replicas = flag.Int("replicas", 2, "tainted secondary executions per trigger (validator k)")
+		timeout  = flag.Duration("timeout", 20*time.Millisecond, "per-trigger validation deadline")
+		drop     = flag.Float64("drop", 0.001, "probability a trigger's primary response is lost (benign false-positive source; 0 disables)")
+		join     = flag.Float64("churn-join", 200, "host-join rate (events/s)")
+		leave    = flag.Float64("churn-leave", 150, "host-leave rate (events/s)")
+		flap     = flag.Float64("flap", 20, "link-flap rate (events/s)")
+		diurnal  = flag.Duration("diurnal", 0, "diurnal load period (0 disables modulation)")
+		trough   = flag.Float64("trough", 0.1, "diurnal trough as a fraction of the peak rate")
+		seed     = flag.Int64("seed", 42, "campaign root seed")
+		parallel = flag.Int("parallel", 0, "sweep parallelism (0 = GOMAXPROCS; results identical at any width)")
+		smoke    = flag.Bool("smoke", false, "run the 1k-switch smoke instead: one brief point on FatTree(30)")
+	)
+	flag.Parse()
+
+	cfg := loadgen.CampaignConfig{
+		K:           *k,
+		Hosts:       *hosts,
+		Window:      *window,
+		Replicas:    *replicas,
+		Timeout:     *timeout,
+		DropRate:    *drop,
+		Churn:       loadgen.ChurnSpec{JoinRate: *join, LeaveRate: *leave, FlapRate: *flap},
+		Diurnal:     loadgen.DiurnalSpec{Period: *diurnal, Trough: *trough},
+		RootSeed:    *seed,
+		Parallelism: *parallel,
+	}
+	var err error
+	if cfg.Rates, err = parseFloats(*rates); err != nil {
+		return fmt.Errorf("-rates: %w", err)
+	}
+	if cfg.Shards, err = parseInts(*shards); err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	if *smoke {
+		cfg.K = 30
+		cfg.Rates = []float64{10000}
+		cfg.Shards = []int{4}
+		cfg.Window = 20 * time.Millisecond
+	}
+
+	switches := 5 * cfg.K * cfg.K / 4
+	physHosts := cfg.K * cfg.K * cfg.K / 4
+	pop := cfg.Hosts
+	if pop == 0 {
+		pop = uint64(physHosts)
+	}
+	fmt.Printf("juryload: FatTree(%d) — %d switches, %d physical ports, %d virtual hosts; window %v, replicas %d, drop %g, seed %d\n\n",
+		cfg.K, switches, physHosts, pop, cfg.Window, cfg.Replicas, cfg.DropRate, *seed)
+
+	out, err := loadgen.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "rate\tshards\tevents\ttriggers\tdecided\tvalid\talarms\ttimeouts\tfp_pct\tp50\tp95\tp99\tpartition_x\twall\tsubmit_per_s\tdigest")
+	for _, o := range out {
+		r := o.Result
+		fmt.Fprintf(w, "%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\t%v\t%v\t%.2f\t%v\t%.0f\t%016x\n",
+			o.Point.Rate, o.Point.Shards, r.Events, r.Triggers, r.Decided, r.Valid,
+			r.Faults, r.Timeouts, r.FPRate*100, r.P50, r.P95, r.P99,
+			r.PartitionX, o.Elapsed.Round(time.Millisecond),
+			o.SubmitPerSec(cfg.Replicas+1), r.Digest)
+	}
+	return w.Flush()
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -28,7 +28,12 @@ var SimPackages = []string{
 // validator core across worker goroutines with bounded channels, so it
 // owns concurrency, but takes all timestamps from the workers' virtual
 // engines — no wall-clock reads at all.
-var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs", "shard"}
+// loadgen is the streaming-workload bridge: its Source is single-
+// goroutine on the virtual clock (it reads no wall clock anywhere), but
+// its obs instruments are scraped by exporter goroutines and its
+// campaign driver dispatches points through sweep's worker pool, so it
+// is held to the bridge contract rather than the eventloop rule.
+var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs", "shard", "loadgen"}
 
 // CmdPackages are the command-line drivers under cmd/. They are held to
 // the bridge contract, not the sim contract: they own goroutines and
@@ -39,6 +44,7 @@ var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs",
 // the protocol's time base just as badly as a bridge package would.
 var CmdPackages = []string{
 	"juryd", "jurylive", "jurysim", "juryfig", "jurylint", "benchjson",
+	"juryload",
 }
 
 // CriticalAPIs returns the FullName list of error-returning calls whose
@@ -70,6 +76,9 @@ func CriticalAPIs(modulePath string) []string {
 		"(*" + modulePath + "/internal/obs.Tracer).WriteChromeTrace",
 		"(*" + modulePath + "/internal/obs.Registry).WritePrometheus",
 		modulePath + "/internal/obs.ServeExpo",
+		// Scale campaigns: a dropped campaign error means BENCH_load rows
+		// are silently missing points, same stakes as sweep.Run.
+		modulePath + "/internal/loadgen.RunCampaign",
 	}
 }
 
@@ -89,6 +98,7 @@ func ErrcritPackages(modulePath string) []string {
 		modulePath + "/internal/sweep",
 		modulePath + "/internal/obs",
 		modulePath + "/internal/shard",
+		modulePath + "/internal/loadgen",
 	}
 }
 
@@ -107,6 +117,7 @@ func ErrcritWaived(modulePath string) map[string]string {
 		modulePath + "/internal/sweep.New":                        "constructor; a bad campaign config aborts before any run",
 		modulePath + "/internal/sweep.NewCache":                   "constructor; a cache open error disables caching, not results",
 		modulePath + "/internal/shard.New":                        "constructor; a config error aborts before any worker starts",
+		modulePath + "/internal/loadgen.NewSource":                "constructor; a config error aborts before any event is generated",
 		modulePath + "/internal/wire.Dial":                        "connection setup; failure is the result the caller observes",
 		modulePath + "/internal/wire.DialConfig":                  "connection setup; failure is the result the caller observes",
 

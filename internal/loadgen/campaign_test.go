@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCampaignFatTree8Deterministic is the acceptance determinism test:
+// the same campaign on FatTree(8) produces bit-identical PointResults —
+// stream digests included — at sweep parallelism 1 and 8. Run under
+// -race in CI.
+func TestCampaignFatTree8Deterministic(t *testing.T) {
+	run := func(parallel int) []PointOutcome {
+		out, err := RunCampaign(context.Background(), CampaignConfig{
+			K:           8,
+			Rates:       []float64{2000, 8000},
+			Shards:      []int{1, 4},
+			Window:      40 * time.Millisecond,
+			DropRate:    0.05,
+			Churn:       ChurnSpec{JoinRate: 100, LeaveRate: 80, FlapRate: 40},
+			Diurnal:     DiurnalSpec{Period: 20 * time.Millisecond, Trough: 0.3},
+			RootSeed:    99,
+			Parallelism: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	if len(seq) != 4 || len(par) != 4 {
+		t.Fatalf("campaign returned %d/%d points, want 4", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Point != par[i].Point || seq[i].Seed != par[i].Seed {
+			t.Fatalf("point %d identity diverged: %+v vs %+v", i, seq[i].Point, par[i].Point)
+		}
+		if !reflect.DeepEqual(seq[i].Result, par[i].Result) {
+			t.Fatalf("point %d result diverged between parallelism 1 and 8:\n%+v\n%+v",
+				i, seq[i].Result, par[i].Result)
+		}
+	}
+	// Same rate at different shard widths must see the identical event
+	// stream: the plane width cannot reach back into generation.
+	if seq[0].Result.Digest != seq[1].Result.Digest {
+		t.Fatalf("shard width changed the event stream: %x vs %x",
+			seq[0].Result.Digest, seq[1].Result.Digest)
+	}
+	for i, o := range seq {
+		r := o.Result
+		if r.Triggers == 0 || r.Decided == 0 {
+			t.Fatalf("point %d decided nothing: %+v", i, r)
+		}
+		if r.Decided < r.Triggers*9/10 {
+			t.Fatalf("point %d decided %d of %d triggers", i, r.Decided, r.Triggers)
+		}
+		if r.Faults == 0 {
+			t.Fatalf("point %d: 5%% primary drop produced no omission alarms", i)
+		}
+		if r.FPRate <= 0 || r.FPRate > 0.2 {
+			t.Fatalf("point %d FP rate %v outside (0, 0.2]", i, r.FPRate)
+		}
+		if r.P95 <= 0 {
+			t.Fatalf("point %d p95 detection = %v", i, r.P95)
+		}
+	}
+	// Wider planes divide the bottleneck: partition_x at 4 shards must
+	// beat 1 shard for the same rate.
+	if seq[1].Result.PartitionX <= seq[0].Result.PartitionX {
+		t.Fatalf("partition_x did not improve with shards: %v (1) vs %v (4)",
+			seq[0].Result.PartitionX, seq[1].Result.PartitionX)
+	}
+}
+
+// TestCampaignOversubscribedHosts runs the virtual-population path: 2^24
+// hosts on a 128-port FatTree(8), indices wrapping onto physical edge
+// ports, without materializing anything.
+func TestCampaignOversubscribedHosts(t *testing.T) {
+	out, err := RunCampaign(context.Background(), CampaignConfig{
+		K:        8,
+		Hosts:    1 << 24,
+		Rates:    []float64{5000},
+		Shards:   []int{2},
+		Window:   20 * time.Millisecond,
+		RootSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out[0].Result
+	if r.Triggers == 0 || r.Decided != r.Triggers {
+		t.Fatalf("oversubscribed point: %+v", r)
+	}
+	if r.Faults != 0 {
+		t.Fatalf("clean campaign raised %d alarms", r.Faults)
+	}
+}
+
+// TestCampaignSmoke1kSwitches is the ≥1k-switch acceptance smoke:
+// FatTree(30) is 1125 switches / 3375 hosts; one brief point must
+// stream, validate and decide.
+func TestCampaignSmoke1kSwitches(t *testing.T) {
+	out, err := RunCampaign(context.Background(), CampaignConfig{
+		K:        30,
+		Rates:    []float64{4000},
+		Shards:   []int{4},
+		Window:   10 * time.Millisecond,
+		RootSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out[0].Result
+	if r.Triggers == 0 || r.Decided == 0 {
+		t.Fatalf("1k-switch smoke decided nothing: %+v", r)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := RunCampaign(context.Background(), CampaignConfig{K: 8}); err == nil {
+		t.Fatal("empty rate/shard lists accepted")
+	}
+	if _, err := RunCampaign(context.Background(), CampaignConfig{
+		K: 7, Rates: []float64{100}, Shards: []int{1},
+	}); err == nil {
+		t.Fatal("odd fat-tree arity accepted")
+	}
+}
+
+// BenchmarkSourceNext is the generator hot path: events/s of synthesis
+// with zero steady-state allocations.
+func BenchmarkSourceNext(b *testing.B) {
+	s := mustSource(b, Config{
+		Hosts: 1 << 24, Links: 4096, MeanRate: 1e6, Seed: 7,
+		Churn: ChurnSpec{JoinRate: 1e3, LeaveRate: 1e3, FlapRate: 500},
+	})
+	for i := 0; i < 10000; i++ {
+		s.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

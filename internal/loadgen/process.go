@@ -1,0 +1,51 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// DiurnalSpec modulates the flow arrival rate over the virtual day: the
+// instantaneous rate is PeakRate scaled by a raised-cosine factor that
+// bottoms out at Trough·PeakRate halfway through each Period. The zero
+// value (Period == 0) disables modulation and holds the peak rate, which
+// is what saturation benchmarks want.
+type DiurnalSpec struct {
+	// Period is the length of one diurnal cycle in virtual time.
+	// Non-positive disables modulation (Factor is identically 1).
+	Period time.Duration
+	// Trough is the off-peak floor as a fraction of the peak rate,
+	// clamped into [0, 1]. 0.1 means the quiet hours run at 10% load.
+	Trough float64
+}
+
+// Factor returns the rate multiplier at virtual time t: 1 at t=0 (the
+// cycle starts at peak), descending to the trough at Period/2 and back.
+func (d DiurnalSpec) Factor(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return 1
+	}
+	tr := d.Trough
+	if tr < 0 {
+		tr = 0
+	} else if tr > 1 {
+		tr = 1
+	}
+	phase := 2 * math.Pi * float64(t%d.Period) / float64(d.Period)
+	// cos(0)=1 → factor 1; cos(π)=-1 → factor tr.
+	return tr + (1-tr)*(1+math.Cos(phase))/2
+}
+
+// ChurnSpec drives the host-churn and link-flap point processes. Each is
+// an independent exponential stream: a non-positive rate disables that
+// stream entirely (no events, no state).
+type ChurnSpec struct {
+	// JoinRate is the host-join (discovery) rate in events per second of
+	// virtual time.
+	JoinRate float64
+	// LeaveRate is the host-leave rate in events per second.
+	LeaveRate float64
+	// FlapRate is the link flap (port down/up pair) rate in events per
+	// second.
+	FlapRate float64
+}

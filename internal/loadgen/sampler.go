@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws positive variates from a caller-supplied deterministic
+// RNG. Samplers are stateless values: all state lives in the *rand.Rand,
+// so two streams with equal seeds replay identical variate sequences.
+type Sampler interface {
+	Sample(r *rand.Rand) float64
+}
+
+// Pareto is the heavy-tailed Pareto(α, xm) distribution: P(X > x) =
+// (xm/x)^α for x ≥ xm. Internet flow interarrivals and sizes are
+// classically Pareto-ish; α ≤ 1 has infinite mean, 1 < α ≤ 2 infinite
+// variance — the burstiness that distinguishes production load from the
+// Poisson processes of internal/workload.
+type Pareto struct {
+	// Alpha is the shape (tail) parameter; smaller is heavier.
+	Alpha float64
+	// Min is the scale xm, the distribution's minimum value.
+	Min float64
+}
+
+// Sample draws by inversion: xm · U^(-1/α) with U uniform on (0, 1].
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := 1 - r.Float64() // (0, 1]: avoids the Inf at u=0
+	return p.Min * math.Pow(u, -1/p.Alpha)
+}
+
+// Mean returns α·xm/(α−1), or +Inf when α ≤ 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Min / (p.Alpha - 1)
+}
+
+// UnitPareto returns a Pareto sampler with mean 1 and shape alpha
+// (alpha > 1) — the interarrival kernel: gap = UnitPareto(α).Sample(r) /
+// rate(t) gives heavy-tailed interarrivals whose long-run average tracks
+// the instantaneous rate.
+func UnitPareto(alpha float64) Pareto {
+	return Pareto{Alpha: alpha, Min: (alpha - 1) / alpha}
+}
+
+// Lognormal is the log-normal distribution: exp(μ + σ·N(0,1)). Flow
+// sizes in enterprise and datacenter traces fit a lognormal body with a
+// Pareto tail; σ ≳ 1 already yields the mice-and-elephants mix where a
+// tiny fraction of flows carries most bytes.
+type Lognormal struct {
+	Mu    float64 // log-scale location: the median is exp(Mu)
+	Sigma float64 // log-scale shape
+}
+
+// Sample draws exp(μ + σ·z) with z standard normal.
+func (l Lognormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Median returns exp(μ).
+func (l Lognormal) Median() float64 { return math.Exp(l.Mu) }
+
+// Constant is a degenerate sampler returning a fixed value — useful for
+// pinning one axis of a model in tests.
+type Constant float64
+
+// Sample returns the constant.
+func (c Constant) Sample(*rand.Rand) float64 { return float64(c) }

@@ -1,0 +1,55 @@
+package jury_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/jurysdn/jury/internal/loadgen"
+)
+
+// BenchmarkLoadStreamScaling measures the sharded validation plane's
+// Submit throughput under the streaming loadgen workload at 1/2/4/8
+// shards (BENCH_load.json, `make bench-load`) — the scale-campaign
+// counterpart of BenchmarkShardScaling, which drives a synthetic
+// response table instead of a generated workload. Each width streams
+// the identical heavy-tailed event sequence (per-point digests pin
+// this) through a FatTree(8) fabric with a 2^20 virtual-host
+// population, so the only variable is the plane width. As in
+// BenchmarkShardScaling, submit_per_s is the measured per-response wall
+// rate scaled by the partition factor triggers/bottleneck-shard-load:
+// the bottleneck shard's serial work is what gates a multi-core
+// deployment, and partition_x (ideal: the shard count) certifies how
+// evenly FNV trigger ownership divides it.
+func BenchmarkLoadStreamScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			var last loadgen.PointOutcome
+			for i := 0; i < b.N; i++ {
+				out, err := loadgen.RunCampaign(context.Background(), loadgen.CampaignConfig{
+					K:      8,
+					Hosts:  1 << 20,
+					Rates:  []float64{1e6},
+					Shards: []int{n},
+					Window: 50 * time.Millisecond,
+					Churn:  loadgen.ChurnSpec{JoinRate: 500, LeaveRate: 400, FlapRate: 100},
+					// One sweep point per run: parallelism cannot skew the
+					// wall clock the throughput figure is derived from.
+					Parallelism: 1,
+					RootSeed:    7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = out[0]
+			}
+			if last.Result.Triggers == 0 || last.Result.Decided != last.Result.Triggers {
+				b.Fatalf("plane decided %d of %d triggers", last.Result.Decided, last.Result.Triggers)
+			}
+			b.ReportMetric(last.SubmitPerSec(3), "submit_per_s")
+			b.ReportMetric(last.Result.PartitionX, "partition_x")
+			b.ReportMetric(float64(last.Result.P95)/float64(time.Microsecond), "p95_us")
+		})
+	}
+}
