@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify figures bench bench-shard bench-load trace
+.PHONY: build test race lint verify figures bench bench-obs bench-shard bench-load trace
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,14 @@ bench:
 	{ $(GO) test -run '^$$' -bench . -benchmem ./internal/obs ./internal/core; \
 	  $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_obs.json
+
+# bench-obs is the observability-overhead regression step: it refreshes
+# BENCH_obs.json (same recipe as bench, which now includes the flight
+# recorder and series rows) and fails if the always-on recorder allocates
+# on the Submit hot path (TestSubmitRecorderBoundedAlloc pins it at zero).
+bench-obs:
+	$(GO) test ./internal/core -run TestSubmitRecorderBoundedAlloc -count=1
+	$(MAKE) bench
 
 # bench-shard mints BENCH_shard.json: the sharded validation plane's
 # Submit-throughput scaling curve at 1/2/4/8 shards (see the

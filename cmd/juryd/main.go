@@ -46,10 +46,17 @@ func run() error {
 		maxLine   = flag.Int("max-line-bytes", wire.DefaultMaxLineBytes, "max protocol line size; oversized lines are rejected and counted, not fatal")
 		heartbeat = flag.Duration("heartbeat-every", wire.DefaultHeartbeatEvery, "ping idle client connections this often (negative = off)")
 		idle      = flag.Duration("idle-timeout", wire.DefaultIdleTimeout, "reap connections idle past this horizon (negative = off)")
+
+		flightRing = flag.Int("flight-ring", 0, "flight-recorder ring capacity: retain the last N trigger lifecycle events per shard (0 = off)")
+		flightDump = flag.String("flight-dump", "", "write flight dumps (JSONL) to this path: on every alarm, and a final dump at shutdown")
+		traceOut   = flag.String("trace-out", "", "write the validator's span trace (JSONL, obs.Stitch input) to this path at shutdown; single-shard only")
 	)
 	flag.Parse()
 
-	srv, err := jury.ServeValidator(*listen, jury.ValidatorServiceConfig{
+	if *flightDump != "" && *flightRing == 0 {
+		*flightRing = obs.DefaultFlightRing
+	}
+	svcCfg := jury.ValidatorServiceConfig{
 		ClusterSize:       *members,
 		K:                 *k,
 		Switches:          *switches,
@@ -58,10 +65,26 @@ func run() error {
 		Shards:            *shards,
 		QueueDepth:        *queueDepth,
 		AlarmsOnly:        *alarmsOnly,
+		Tracing:           *traceOut != "",
+		FlightRing:        *flightRing,
 		MaxLineBytes:      *maxLine,
 		HeartbeatEvery:    *heartbeat,
 		IdleTimeout:       *idle,
-	})
+	}
+	if *flightDump != "" {
+		// Dump-on-alarm: each dump overwrites the file with the freshest
+		// ring, so the path always holds the events leading up to the
+		// latest alarm.
+		path := *flightDump
+		svcCfg.OnFlightDump = func(reason string, events []obs.Event) {
+			if err := writeFlightDump(path, events); err != nil {
+				log.Printf("juryd: flight dump (%s): %v", reason, err)
+				return
+			}
+			log.Printf("juryd: flight dump (%s): %d events -> %s", reason, len(events), path)
+		}
+	}
+	srv, err := jury.ServeValidator(*listen, svcCfg)
 	if err != nil {
 		return err
 	}
@@ -93,6 +116,25 @@ func run() error {
 			st := srv.Stats()
 			fmt.Printf("juryd: shutting down — %d decided, %d valid, %d alarms, %d timeouts\n",
 				st.Decided, st.Valid, st.Faults, st.Timeouts)
+			if *flightDump != "" {
+				if events := srv.FlightSnapshot(); len(events) > 0 {
+					if err := writeFlightDump(*flightDump, events); err != nil {
+						log.Printf("juryd: final flight dump: %v", err)
+					} else {
+						log.Printf("juryd: final flight dump: %d events -> %s", len(events), *flightDump)
+					}
+				}
+			}
+			if *traceOut != "" {
+				if err := writeTrace(srv, *traceOut); err != nil {
+					log.Printf("juryd: trace: %v", err)
+				} else {
+					log.Printf("juryd: trace -> %s", *traceOut)
+					for origin, shift := range srv.TraceOrigins() {
+						log.Printf("juryd: stitch shift for origin %q: %d ns", origin, shift)
+					}
+				}
+			}
 			return nil
 		case <-tick:
 			st := srv.Stats()
@@ -100,4 +142,31 @@ func run() error {
 				st.Decided, st.Valid, st.Faults, st.Timeouts, st.Pending)
 		}
 	}
+}
+
+// writeFlightDump writes one flight snapshot to path, atomically enough
+// for a diagnostic file: full rewrite per dump.
+func writeFlightDump(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteEventsJSONL(f, events); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the service's span trace as JSONL for stitching.
+func writeTrace(srv *wire.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteTrace(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

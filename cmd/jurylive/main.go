@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -62,6 +63,7 @@ func run() error {
 
 		validatorAt = flag.String("validator", "", "stream egress FLOW_MODs to a juryd validator at this address (empty = off)")
 		validatorK  = flag.Int("validator-k", 2, "fabricated secondary responses per egress (must match juryd -k)")
+		traceOut    = flag.String("trace-out", "", "write the controller-side span trace (JSONL) to this path at exit; stitch against juryd -trace-out with jurytrace")
 	)
 	flag.Parse()
 
@@ -87,6 +89,15 @@ func run() error {
 		ctrl = controller.New(ctrlEng, 1, profile, sc.AddNode(1), members)
 	})
 
+	// Controller-side span trace on the pump's virtual clock. The tracer
+	// is single-goroutine by contract, so every touch — open at egress,
+	// close at the validator's verdict, final export — hops onto the pump.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(ctrlEng.Now)
+		tracer.InstrumentMetrics(reg)
+	}
+
 	// Optional out-of-band validation: every egress FLOW_MOD becomes a
 	// fabricated response complement streamed to a juryd over the
 	// resilient wire client (reconnects across a juryd restart; loss is
@@ -99,7 +110,7 @@ func run() error {
 		vStats   *wire.Stats
 	)
 	if *validatorAt != "" {
-		c, err := wire.DialConfig(*validatorAt, wire.ClientConfig{
+		ccfg := wire.ClientConfig{
 			Metrics: reg,
 			OnResult: func(r core.Result) {
 				vmu.Lock()
@@ -108,13 +119,30 @@ func run() error {
 					vAlarms++
 				}
 				vmu.Unlock()
+				if tracer != nil {
+					// Close the trigger's round-trip span on the pump, where
+					// the tracer lives.
+					ctrlPump.Do(func() {
+						id := string(r.Trigger)
+						tracer.EndSpan(id, "validate-rtt", "wire", r.Reason)
+						tracer.EndTrigger(id, r.Verdict.String(), r.Fault.String())
+					})
+				}
 			},
 			OnStats: func(st wire.Stats) {
 				vmu.Lock()
 				vStats = &st
 				vmu.Unlock()
 			},
-		})
+		}
+		if tracer != nil {
+			// Stamp every response envelope with the controller's span
+			// context: Send runs on the pump goroutine, so reading the
+			// pump engine's clock here is safe.
+			ccfg.Trace = &wire.TraceContext{Origin: "jurylive"}
+			ccfg.TraceNow = ctrlEng.Now
+		}
+		c, err := wire.DialConfig(*validatorAt, ccfg)
 		if err != nil {
 			return fmt.Errorf("jurylive: validator: %w", err)
 		}
@@ -128,6 +156,12 @@ func run() error {
 					return
 				}
 				egress++ // runs on the pump: serialized with the event loop
+				if tracer != nil {
+					id := fmt.Sprintf("live-%d", egress)
+					tracer.StartTrigger(id, "flow-mod")
+					tracer.Emit(id, "egress", "controller/C1", ctrlEng.Now(), ctrlEng.Now(), dpid.String())
+					tracer.StartSpan(id, "validate-rtt", "wire")
+				}
 				base := core.Response{
 					Primary: 1,
 					Trigger: trigger.ID(fmt.Sprintf("live-%d", egress)),
@@ -263,6 +297,24 @@ func run() error {
 		vmu.Unlock()
 		fmt.Printf("wire client: reconnects=%d dropped=%d backlog=%d\n",
 			vc.Reconnects(), vc.Dropped(), vc.Backlog())
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("jurylive: trace: %w", err)
+		}
+		var werr error
+		ctrlPump.Do(func() { werr = tracer.WriteJSONL(f) })
+		if werr == nil {
+			werr = f.Close()
+		} else {
+			_ = f.Close()
+		}
+		if werr != nil {
+			return fmt.Errorf("jurylive: trace: %w", werr)
+		}
+		fmt.Printf("controller trace -> %s (%d triggers)\n", *traceOut, tracer.CompletedTriggers())
 	}
 	return nil
 }

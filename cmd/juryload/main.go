@@ -23,12 +23,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"github.com/jurysdn/jury/internal/loadgen"
+	"github.com/jurysdn/jury/internal/obs"
 )
 
 func main() {
@@ -55,6 +58,11 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "campaign root seed")
 		parallel = flag.Int("parallel", 0, "sweep parallelism (0 = GOMAXPROCS; results identical at any width)")
 		smoke    = flag.Bool("smoke", false, "run the 1k-switch smoke instead: one brief point on FatTree(30)")
+
+		seriesOut   = flag.String("series-out", "", "write per-point campaign time series (columnar JSONL) into this directory (empty = off)")
+		seriesEvery = flag.Duration("series-every", 10*time.Millisecond, "virtual sampling period for -series-out")
+		flightOut   = flag.String("flight-out", "", "write per-point flight dumps (JSONL) into this directory (empty = off)")
+		flightRing  = flag.Int("flight-ring", 0, "per-shard flight-recorder capacity for -flight-out (0 = default ring)")
 	)
 	flag.Parse()
 
@@ -84,6 +92,52 @@ func run() error {
 		cfg.Window = 20 * time.Millisecond
 	}
 
+	// Telemetry sinks: hooks run on sweep worker goroutines, so the
+	// path books are mutex-guarded. Each point gets its own file, named
+	// by its (rate, shards) identity.
+	var (
+		teleMu      sync.Mutex
+		seriesPaths = map[loadgen.CampaignPoint]string{}
+		flightPaths = map[loadgen.CampaignPoint]string{}
+	)
+	if *seriesOut != "" {
+		if err := os.MkdirAll(*seriesOut, 0o755); err != nil {
+			return fmt.Errorf("-series-out: %w", err)
+		}
+		cfg.SeriesEvery = *seriesEvery
+		cfg.OnSeries = func(pt loadgen.CampaignPoint, seed int64, s *obs.Series) {
+			path := filepath.Join(*seriesOut, pointFile("series", pt))
+			if err := writeSeries(path, s); err != nil {
+				log.Printf("juryload: series %s: %v", path, err)
+				return
+			}
+			teleMu.Lock()
+			seriesPaths[pt] = path
+			teleMu.Unlock()
+		}
+	}
+	if *flightOut != "" {
+		if err := os.MkdirAll(*flightOut, 0o755); err != nil {
+			return fmt.Errorf("-flight-out: %w", err)
+		}
+		cfg.FlightRing = *flightRing
+		if cfg.FlightRing == 0 {
+			cfg.FlightRing = obs.DefaultFlightRing
+		}
+		cfg.OnFlightDump = func(pt loadgen.CampaignPoint, reason string, events []obs.Event) {
+			// Later dumps overwrite earlier ones: the file always holds
+			// the events leading up to the point's latest alarm.
+			path := filepath.Join(*flightOut, pointFile("flight", pt))
+			if err := writeFlight(path, events); err != nil {
+				log.Printf("juryload: flight dump %s (%s): %v", path, reason, err)
+				return
+			}
+			teleMu.Lock()
+			flightPaths[pt] = path
+			teleMu.Unlock()
+		}
+	}
+
 	switches := 5 * cfg.K * cfg.K / 4
 	physHosts := cfg.K * cfg.K * cfg.K / 4
 	pop := cfg.Hosts
@@ -99,16 +153,54 @@ func run() error {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(w, "rate\tshards\tevents\ttriggers\tdecided\tvalid\talarms\ttimeouts\tfp_pct\tp50\tp95\tp99\tpartition_x\twall\tsubmit_per_s\tdigest")
+	fmt.Fprintln(w, "rate\tshards\tevents\ttriggers\tdecided\tvalid\talarms\ttimeouts\tfp_pct\tp50\tp95\tp99\tpartition_x\twall\tsubmit_per_s\tdigest\tseries\tflight")
+	teleMu.Lock()
+	defer teleMu.Unlock()
 	for _, o := range out {
 		r := o.Result
-		fmt.Fprintf(w, "%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\t%v\t%v\t%.2f\t%v\t%.0f\t%016x\n",
+		series, flight := "-", "-"
+		if p, ok := seriesPaths[o.Point]; ok {
+			series = p
+		}
+		if p, ok := flightPaths[o.Point]; ok {
+			flight = p
+		}
+		fmt.Fprintf(w, "%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%v\t%v\t%v\t%.2f\t%v\t%.0f\t%016x\t%s\t%s\n",
 			o.Point.Rate, o.Point.Shards, r.Events, r.Triggers, r.Decided, r.Valid,
 			r.Faults, r.Timeouts, r.FPRate*100, r.P50, r.P95, r.P99,
 			r.PartitionX, o.Elapsed.Round(time.Millisecond),
-			o.SubmitPerSec(cfg.Replicas+1), r.Digest)
+			o.SubmitPerSec(cfg.Replicas+1), r.Digest, series, flight)
 	}
 	return w.Flush()
+}
+
+// pointFile names a point's telemetry file by its parameter identity.
+func pointFile(kind string, pt loadgen.CampaignPoint) string {
+	return fmt.Sprintf("%s-rate%.0f-shards%d.jsonl", kind, pt.Rate, pt.Shards)
+}
+
+func writeSeries(path string, s *obs.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSONL(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeFlight(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteEventsJSONL(f, events); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseFloats(s string) ([]float64, error) {

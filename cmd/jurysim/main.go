@@ -20,6 +20,7 @@ import (
 	jury "github.com/jurysdn/jury"
 	"github.com/jurysdn/jury/internal/controller"
 	"github.com/jurysdn/jury/internal/faults"
+	"github.com/jurysdn/jury/internal/obs"
 	"github.com/jurysdn/jury/internal/policy"
 	"github.com/jurysdn/jury/internal/workload"
 )
@@ -46,6 +47,9 @@ func run() error {
 		listFault = flag.Bool("list-faults", false, "list the fault catalog and exit")
 		trace     = flag.String("trace", "", "drive a benign trace model instead of -rate: lbnl, univ or smia")
 		traceOut  = flag.String("trace-out", "", "record a per-trigger span trace and write it here (.jsonl for JSON Lines, otherwise Chrome trace_event JSON for chrome://tracing or Perfetto)")
+
+		flightRing = flag.Int("flight-ring", 0, "flight-recorder ring capacity: retain the last N validator lifecycle events (0 = off)")
+		flightDump = flag.String("flight-dump", "", "write the final flight snapshot (JSONL) here at the end of the run")
 	)
 	flag.Parse()
 
@@ -82,6 +86,10 @@ func run() error {
 		cfg.Policies = nil
 	}
 	cfg.EnableTracing = *traceOut != ""
+	if *flightDump != "" && *flightRing == 0 {
+		*flightRing = obs.DefaultFlightRing
+	}
+	cfg.FlightRing = *flightRing
 	sim, err := jury.New(cfg)
 	if err != nil {
 		return err
@@ -166,6 +174,31 @@ func run() error {
 			return err
 		}
 	}
+	if *flightDump != "" {
+		if err := writeFlight(sim, *flightDump); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFlight dumps the validator's flight-recorder ring.
+func writeFlight(sim *jury.Simulation, path string) error {
+	rec := sim.FlightRecorder()
+	events := rec.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create flight dump: %w", err)
+	}
+	if err := obs.WriteEventsJSONL(f, events); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("write flight dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\n-- flight --\n")
+	fmt.Printf("wrote %s: %d events (ring %d, %d recorded)\n", path, len(events), rec.Cap(), rec.Total())
 	return nil
 }
 

@@ -1,0 +1,107 @@
+// Command jurytrace stitches the JSONL span traces of N JURY processes
+// (controller-side jurylive, validator-side juryd or jurysim) into one
+// merged timeline. By default it emits a Chrome trace_event file for
+// chrome://tracing or Perfetto; -jsonl emits merged JSONL instead (an
+// obs.Stitch input itself, so stitches compose).
+//
+// Each argument names one input as origin=path or origin=shiftNS=path,
+// where shiftNS is the virtual-clock-base offset aligning that process
+// onto the stitched axis. juryd logs the estimated shift per origin at
+// shutdown ("stitch shift for origin ..."); the validator's own trace
+// uses shift 0.
+//
+// Usage:
+//
+//	jurytrace -out trace.json juryd=validator.jsonl jurylive=1500000=controller.jsonl
+//	jurytrace -jsonl -out merged.jsonl juryd=validator.jsonl jurylive=controller.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/jurysdn/jury/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "", "output path (empty = stdout)")
+		jsonl = flag.Bool("jsonl", false, "emit merged JSONL spans instead of a Chrome trace")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("jurytrace: no inputs; expected origin=path or origin=shiftNS=path arguments")
+	}
+
+	var inputs []obs.StitchInput
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			_ = f.Close()
+		}
+	}()
+	for _, arg := range flag.Args() {
+		in, err := parseInput(arg)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(in.path)
+		if err != nil {
+			return fmt.Errorf("jurytrace: %w", err)
+		}
+		files = append(files, f)
+		inputs = append(inputs, obs.StitchInput{Origin: in.origin, ShiftNS: in.shiftNS, R: f})
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("jurytrace: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				log.Printf("jurytrace: close %s: %v", *out, cerr)
+			}
+		}()
+		w = f
+	}
+	if *jsonl {
+		return obs.StitchJSONL(w, inputs...)
+	}
+	return obs.StitchChromeTrace(w, inputs...)
+}
+
+type stitchArg struct {
+	origin  string
+	shiftNS int64
+	path    string
+}
+
+// parseInput decodes origin=path or origin=shiftNS=path.
+func parseInput(arg string) (stitchArg, error) {
+	parts := strings.SplitN(arg, "=", 3)
+	switch len(parts) {
+	case 2:
+		return stitchArg{origin: parts[0], path: parts[1]}, nil
+	case 3:
+		shift, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return stitchArg{}, fmt.Errorf("jurytrace: %q: shift: %w", arg, err)
+		}
+		return stitchArg{origin: parts[0], shiftNS: shift, path: parts[2]}, nil
+	default:
+		return stitchArg{}, fmt.Errorf("jurytrace: %q: expected origin=path or origin=shiftNS=path", arg)
+	}
+}

@@ -105,6 +105,14 @@ type Config struct {
 	// clock when Tracer is nil — the usual way to turn tracing on, since
 	// the engine does not exist before New.
 	EnableTracing bool
+	// FlightRecorder records the validator's last FlightRing trigger
+	// lifecycle events into a fixed ring (nil disables at zero hot-path
+	// cost). Normally left nil and armed via FlightRing.
+	FlightRecorder *obs.Recorder
+	// FlightRing creates a FlightRecorder of this capacity when
+	// FlightRecorder is nil — the usual way to arm flight recording
+	// (negative selects obs.DefaultFlightRing).
+	FlightRing int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -221,6 +229,16 @@ type ValidatorServiceConfig struct {
 	QueueDepth int
 	// AlarmsOnly pushes only fault results to connected clients.
 	AlarmsOnly bool
+	// Tracing arms a per-trigger span tracer on the service's virtual
+	// clock (single-shard mode only; rejected with Shards > 1). The trace
+	// is read back with ValidatorService.WriteTrace — juryd -trace-out.
+	Tracing bool
+	// FlightRing arms a flight recorder retaining the last N trigger
+	// lifecycle events (per-shard rings when Shards > 1); zero disables.
+	FlightRing int
+	// OnFlightDump receives dump-on-alarm flight snapshots (reason plus
+	// the merged ring, oldest first), serialized and rate-limited.
+	OnFlightDump func(reason string, events []obs.Event)
 
 	// MaxLineBytes caps one protocol line; oversized lines are rejected
 	// and counted without killing the connection (default

@@ -44,7 +44,7 @@ var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs",
 // the protocol's time base just as badly as a bridge package would.
 var CmdPackages = []string{
 	"juryd", "jurylive", "jurysim", "juryfig", "jurylint", "benchjson",
-	"juryload",
+	"juryload", "jurytrace",
 }
 
 // CriticalAPIs returns the FullName list of error-returning calls whose
@@ -76,6 +76,13 @@ func CriticalAPIs(modulePath string) []string {
 		"(*" + modulePath + "/internal/obs.Tracer).WriteChromeTrace",
 		"(*" + modulePath + "/internal/obs.Registry).WritePrometheus",
 		modulePath + "/internal/obs.ServeExpo",
+		// Observability v2: flight dumps, series and stitched traces are
+		// evidence files — a swallowed write error loses the black box.
+		modulePath + "/internal/obs.WriteEventsJSONL",
+		"(*" + modulePath + "/internal/obs.Series).WriteJSONL",
+		modulePath + "/internal/obs.StitchJSONL",
+		modulePath + "/internal/obs.StitchChromeTrace",
+		"(*" + modulePath + "/internal/wire.Server).WriteTrace",
 		// Scale campaigns: a dropped campaign error means BENCH_load rows
 		// are silently missing points, same stakes as sweep.Run.
 		modulePath + "/internal/loadgen.RunCampaign",
@@ -124,13 +131,15 @@ func ErrcritWaived(modulePath string) map[string]string {
 		// Decode/validation APIs: returning the error on malformed input
 		// is the function's contract, and handling it is the caller's
 		// control flow rather than an experiment-validity gate.
-		modulePath + "/internal/openflow.Parse":                   "frame validation; malformed input is expected protocol flow",
-		modulePath + "/internal/openflow.ParsePacket":             "frame validation; malformed input is expected protocol flow",
-		modulePath + "/internal/openflow.ReadMessage":             "read-loop control flow; io.EOF terminates the loop",
-		modulePath + "/internal/openflow.DecapsulatePacketIn":     "frame validation; malformed input is expected protocol flow",
-		modulePath + "/internal/store.ParseOp":                    "input validation; returning the error is the contract",
-		modulePath + "/internal/sweep.PointKey":                   "key derivation; unmarshalable params surface at campaign setup",
-		"(*" + modulePath + "/internal/wire.LineReader).ReadLine": "read-loop control flow; io.EOF terminates the loop",
+		modulePath + "/internal/openflow.Parse":                      "frame validation; malformed input is expected protocol flow",
+		modulePath + "/internal/openflow.ParsePacket":                "frame validation; malformed input is expected protocol flow",
+		modulePath + "/internal/openflow.ReadMessage":                "read-loop control flow; io.EOF terminates the loop",
+		modulePath + "/internal/openflow.DecapsulatePacketIn":        "frame validation; malformed input is expected protocol flow",
+		modulePath + "/internal/store.ParseOp":                       "input validation; returning the error is the contract",
+		"(" + modulePath + "/internal/obs.EventKind).MarshalJSON":    "json.Marshaler contract; encoding/json surfaces the error",
+		"(*" + modulePath + "/internal/obs.EventKind).UnmarshalJSON": "json.Unmarshaler contract; encoding/json surfaces the error",
+		modulePath + "/internal/sweep.PointKey":                      "key derivation; unmarshalable params surface at campaign setup",
+		"(*" + modulePath + "/internal/wire.LineReader).ReadLine":    "read-loop control flow; io.EOF terminates the loop",
 
 		// Best-effort paths: a failure costs a retry or a diagnostic, not
 		// result correctness.

@@ -91,6 +91,12 @@ func (s *vshard) observe(r Response) {
 	st.seen = true
 	st.at = s.v.eng.Now()
 	s.psi[r.Controller] = st
+	if s.v.rec != nil {
+		s.v.rec.Record(obs.Event{
+			AtNS: int64(st.at), Kind: obs.EvPsi,
+			Trigger: string(r.Trigger), Ctrl: int64(r.Controller),
+		})
+	}
 }
 
 // submit runs the per-trigger half of Algorithm 1 for a response whose
@@ -106,7 +112,8 @@ func (s *vshard) submit(r Response) {
 			byController: make(map[store.NodeID][]Response),
 			noops:        make(map[store.NodeID]bool),
 		}
-		p.timer = v.eng.Schedule(s.timeout(), func() { s.expire(p) })
+		to := s.timeout()
+		p.timer = v.eng.Schedule(to, func() { s.expire(p) })
 		s.pending[r.Trigger] = p
 		v.pendingG.Add(1)
 		s.pendingG.Add(1)
@@ -118,10 +125,29 @@ func (s *vshard) submit(r Response) {
 			v.tracer.StartTrigger(id, "")
 			v.tracer.StartSpan(id, "validate", "validator")
 		}
+		if v.rec != nil {
+			v.rec.Record(obs.Event{
+				AtNS: int64(p.firstAt), Kind: obs.EvSubmit,
+				Trigger: string(r.Trigger), Arg: int64(to),
+			})
+		}
 	}
 	if p.decided {
 		v.lateResponses.Inc()
+		if v.rec != nil {
+			v.rec.Record(obs.Event{
+				AtNS: int64(v.eng.Now()), Kind: obs.EvResponse,
+				Trigger: string(r.Trigger), Ctrl: int64(r.Controller),
+				Detail: "late",
+			})
+		}
 		return
+	}
+	if v.rec != nil {
+		v.rec.Record(obs.Event{
+			AtNS: int64(v.eng.Now()), Kind: obs.EvResponse,
+			Trigger: string(r.Trigger), Ctrl: int64(r.Controller),
+		})
 	}
 	p.responses++
 	p.all = append(p.all, r)
@@ -167,6 +193,12 @@ func (s *vshard) expire(p *pendingTrigger) {
 	}
 	v := s.v
 	v.totalTimeouts.Inc()
+	if v.rec != nil {
+		v.rec.Record(obs.Event{
+			AtNS: int64(v.eng.Now()), Kind: obs.EvTimer,
+			Trigger: string(p.id),
+		})
+	}
 	if v.OnTimeoutResponses != nil {
 		v.OnTimeoutResponses(p.id, p.all)
 	}
@@ -231,6 +263,14 @@ func (s *vshard) finish(p *pendingTrigger, res Result, timedOut bool) {
 		id := string(p.id)
 		v.tracer.EndSpan(id, "validate", "validator", res.Reason)
 		v.tracer.EndTrigger(id, res.Verdict.String(), res.Fault.String())
+	}
+	if v.rec != nil {
+		v.rec.Record(obs.Event{
+			AtNS: int64(res.DecidedAt), Kind: obs.EvVerdict,
+			Trigger: string(p.id),
+			Verdict: res.Verdict.String(), Fault: res.Fault.String(),
+			Detail: res.Reason, Arg: int64(res.Responses),
+		})
 	}
 	if v.OnResult != nil {
 		v.OnResult(res)

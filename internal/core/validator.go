@@ -153,6 +153,12 @@ type ValidatorConfig struct {
 	// Tracer records a "validate" span per trigger and closes the root
 	// span with the verdict; nil disables tracing at zero hot-path cost.
 	Tracer *obs.Tracer
+	// Recorder is the always-on flight recorder: every submit, response
+	// arrival, ψ update, timer expiry and verdict lands in its fixed ring
+	// for post-mortem dumps. nil disables recording at zero hot-path
+	// cost; with a recorder set the Submit path stays allocation-free
+	// (TestSubmitRecorderBoundedAlloc pins it).
+	Recorder *obs.Recorder
 }
 
 // Validator is JURY's out-of-band response validator (Algorithm 1),
@@ -169,6 +175,7 @@ type Validator struct {
 	members *cluster.Membership
 	reg     *obs.Registry
 	tracer  *obs.Tracer
+	rec     *obs.Recorder
 
 	// Policy is the optional POLICY_CHECK hook.
 	Policy PolicyFunc
@@ -234,6 +241,7 @@ func NewValidator(eng *simnet.Engine, members *cluster.Membership, cfg Validator
 		members: members,
 		reg:     reg,
 		tracer:  cfg.Tracer,
+		rec:     cfg.Recorder,
 	}
 	v.totalDecided = reg.Counter("jury_validator_decided_total", "Triggers decided.")
 	v.totalValid = reg.Counter("jury_validator_valid_total", "Triggers judged valid.")
@@ -274,6 +282,9 @@ func NewValidator(eng *simnet.Engine, members *cluster.Membership, cfg Validator
 // Metrics returns the registry holding the validator's counters, for
 // exposition.
 func (v *Validator) Metrics() *obs.Registry { return v.reg }
+
+// Recorder returns the flight recorder (nil when recording is disabled).
+func (v *Validator) Recorder() *obs.Recorder { return v.rec }
 
 // Config returns the validator configuration.
 func (v *Validator) Config() ValidatorConfig { return v.cfg }

@@ -3,8 +3,11 @@ package loadgen
 import (
 	"context"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
+
+	"github.com/jurysdn/jury/internal/obs"
 )
 
 // TestCampaignFatTree8Deterministic is the acceptance determinism test:
@@ -143,5 +146,137 @@ func BenchmarkSourceNext(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Next()
+	}
+}
+
+// TestCampaignSeriesTelemetry asserts the campaign time series samples
+// the validator aggregates at Sync barriers: rows at every SeriesEvery
+// boundary, monotone aggregate columns, and deterministic validator
+// aggregates across sweep parallelism (per-shard queue hwm is a
+// wall-clock diagnostic and is excluded from the determinism check).
+func TestCampaignSeriesTelemetry(t *testing.T) {
+	collect := func(parallel int) map[CampaignPoint]*obs.Series {
+		var mu sync.Mutex
+		got := map[CampaignPoint]*obs.Series{}
+		_, err := RunCampaign(context.Background(), CampaignConfig{
+			K:           8,
+			Rates:       []float64{2000},
+			Shards:      []int{2},
+			Window:      40 * time.Millisecond,
+			DropRate:    0.05,
+			RootSeed:    99,
+			Parallelism: parallel,
+			SeriesEvery: 10 * time.Millisecond,
+			OnSeries: func(pt CampaignPoint, seed int64, s *obs.Series) {
+				mu.Lock()
+				got[pt] = s
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	series := collect(1)
+	if len(series) != 1 {
+		t.Fatalf("OnSeries fired for %d points, want 1", len(series))
+	}
+	var s *obs.Series
+	for _, v := range series {
+		s = v
+	}
+	// 40ms window at 10ms cadence: samples at 10, 20, 30, 40.
+	if s.Len() != 4 {
+		t.Fatalf("series has %d rows, want 4", s.Len())
+	}
+	cols := s.Columns()
+	idx := map[string]int{}
+	for i, c := range cols {
+		idx[c] = i
+	}
+	for _, want := range []string{"events", "triggers", "decided", "valid", "pending",
+		"shard0_decided", "shard1_decided", "shard0_queue_hwm"} {
+		if _, ok := idx[want]; !ok {
+			t.Fatalf("series columns %v missing %q", cols, want)
+		}
+	}
+	rows := s.Rows()
+	for i, row := range rows {
+		if want := int64(10*time.Millisecond) * int64(i+1); row.AtNS != want {
+			t.Fatalf("row %d sampled at %d, want %d", i, row.AtNS, want)
+		}
+		if i > 0 && row.V[idx["decided"]] < rows[i-1].V[idx["decided"]] {
+			t.Fatalf("decided column not monotone at row %d", i)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.V[idx["decided"]] == 0 || last.V[idx["events"]] == 0 {
+		t.Fatalf("final sample is empty: %v", last.V)
+	}
+	if last.V[idx["shard0_decided"]]+last.V[idx["shard1_decided"]] != last.V[idx["decided"]] {
+		t.Fatalf("per-shard decided does not sum to aggregate: %v", last.V)
+	}
+
+	// Validator-aggregate columns are deterministic across parallelism.
+	par := collect(8)
+	var p *obs.Series
+	for _, v := range par {
+		p = v
+	}
+	deterministic := []string{"events", "triggers", "decided", "valid", "faults",
+		"timeouts", "pending", "shard0_decided", "shard1_decided"}
+	if p.Len() != s.Len() {
+		t.Fatalf("row counts diverge across parallelism: %d vs %d", p.Len(), s.Len())
+	}
+	for i := range rows {
+		for _, c := range deterministic {
+			if a, b := rows[i].V[idx[c]], p.Rows()[i].V[idx[c]]; a != b {
+				t.Fatalf("column %q diverges across parallelism at row %d: %v vs %v", c, i, a, b)
+			}
+		}
+	}
+}
+
+// TestCampaignFlightDump asserts the campaign's per-point flight hook
+// fires when the drop-injected workload raises alarms.
+func TestCampaignFlightDump(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		dumps int
+		last  []obs.Event
+	)
+	_, err := RunCampaign(context.Background(), CampaignConfig{
+		K:          8,
+		Rates:      []float64{2000},
+		Shards:     []int{2},
+		Window:     40 * time.Millisecond,
+		DropRate:   0.05,
+		RootSeed:   99,
+		FlightRing: 256,
+		OnFlightDump: func(pt CampaignPoint, reason string, events []obs.Event) {
+			mu.Lock()
+			dumps++
+			last = events
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if dumps == 0 {
+		t.Fatal("5% drop raised alarms but no flight dump fired")
+	}
+	if len(last) == 0 {
+		t.Fatal("flight dump carried no events")
+	}
+	shards := map[int]bool{}
+	for _, e := range last {
+		shards[e.Shard] = true
+	}
+	if len(shards) < 2 {
+		t.Fatalf("merged dump covers %d shards, want 2", len(shards))
 	}
 }

@@ -101,3 +101,62 @@ func BenchmarkWriteJSONL(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRecorderDisabled is the zero-cost claim for the nil recorder:
+// Record must collapse to a nil check.
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var rec *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(Event{AtNS: int64(i), Kind: EvResponse})
+	}
+}
+
+// BenchmarkRecorderRecord measures the always-on flight-recorder append:
+// one mutex round trip and an in-place ring assignment, zero allocations.
+func BenchmarkRecorderRecord(b *testing.B) {
+	rec := NewRecorder(DefaultFlightRing)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(Event{AtNS: int64(i), Kind: EvResponse, Trigger: "τ"})
+	}
+	if rec.Total() != uint64(b.N) {
+		b.Fatalf("recorded %d of %d events", rec.Total(), b.N)
+	}
+}
+
+// BenchmarkRecorderSnapshot measures one dump-path copy of a full
+// default-size ring.
+func BenchmarkRecorderSnapshot(b *testing.B) {
+	rec := NewRecorder(DefaultFlightRing)
+	for i := 0; i < DefaultFlightRing*2; i++ {
+		rec.Record(Event{AtNS: int64(i), Kind: EvResponse})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(rec.Snapshot()); got != DefaultFlightRing {
+			b.Fatalf("snapshot = %d events", got)
+		}
+	}
+}
+
+// BenchmarkSeriesSample measures one telemetry sampling instant over a
+// campaign-shaped column set (7 aggregates + 2 per-shard columns).
+func BenchmarkSeriesSample(b *testing.B) {
+	var v float64
+	cols := make([]SeriesColumn, 9)
+	for i := range cols {
+		cols[i] = SeriesColumn{Name: fmt.Sprintf("c%d", i), Fn: func() float64 { v++; return v }}
+	}
+	s := NewSeries(cols...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(time.Duration(i))
+	}
+	if s.Len() != b.N {
+		b.Fatalf("sampled %d of %d rows", s.Len(), b.N)
+	}
+}

@@ -53,12 +53,19 @@ func (c *Counter) Inc() { c.n.Add(1) }
 func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Gauge is a value that can go up and down. Safe for concurrent use.
+// Alongside the current value it tracks the high-watermark — the largest
+// value ever set — so saturation episodes (a shard intake queue that
+// briefly filled) stay visible after the gauge has drained back down.
 type Gauge struct {
 	bits atomic.Uint64
+	hwm  atomic.Uint64
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *Gauge) Set(v float64) {
+	g.bits.Store(math.Float64bits(v))
+	g.raiseHWM(v)
+}
 
 // Add shifts the gauge by delta (negative to decrement), lock-free and
 // safe against concurrent Set/Add — connection-lifecycle gauges are
@@ -66,7 +73,22 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
-		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+		next := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			g.raiseHWM(next)
+			return
+		}
+	}
+}
+
+// raiseHWM lifts the high-watermark to v when v exceeds it (CAS max).
+func (g *Gauge) raiseHWM(v float64) {
+	for {
+		old := g.hwm.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.hwm.CompareAndSwap(old, math.Float64bits(v)) {
 			return
 		}
 	}
@@ -74,6 +96,10 @@ func (g *Gauge) Add(delta float64) {
 
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HighWatermark returns the largest value the gauge has reached (at
+// least zero — the zero value's watermark).
+func (g *Gauge) HighWatermark() float64 { return math.Float64frombits(g.hwm.Load()) }
 
 // Histogram accumulates duration samples into a metrics.Distribution and
 // exposes quantiles, sum and count as a Prometheus summary (in seconds).

@@ -163,3 +163,24 @@ func TestHistogramWrapsExistingDistribution(t *testing.T) {
 		t.Fatalf("snapshot = %d samples / %v sum", snap.Count(), snap.Sum())
 	}
 }
+
+// TestGaugeHighWatermark asserts the gauge retains its maximum ever
+// value across Set/Add movements in both directions.
+func TestGaugeHighWatermark(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("jury_shard_queue_depth", `shard="0"`)
+	if g.HighWatermark() != 0 {
+		t.Fatalf("fresh hwm = %v, want 0", g.HighWatermark())
+	}
+	g.Set(3)
+	g.Set(9)
+	g.Set(2)
+	if g.HighWatermark() != 9 {
+		t.Fatalf("hwm after sets = %v, want 9", g.HighWatermark())
+	}
+	g.Add(10) // 2 + 10 = 12
+	g.Add(-5)
+	if g.Value() != 7 || g.HighWatermark() != 12 {
+		t.Fatalf("value = %v hwm = %v, want 7/12", g.Value(), g.HighWatermark())
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSeriesSampleAndSchema asserts rows carry one value per column in
+// column order, stamped with the virtual sampling instant.
+func TestSeriesSampleAndSchema(t *testing.T) {
+	var decided, pending float64
+	s := NewSeries(
+		SeriesColumn{Name: "decided", Fn: func() float64 { return decided }},
+		SeriesColumn{Name: "pending", Fn: func() float64 { return pending }},
+	)
+	decided, pending = 3, 1
+	s.Sample(10 * time.Millisecond)
+	decided, pending = 7, 0
+	s.Sample(20 * time.Millisecond)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if got := s.Columns(); len(got) != 2 || got[0] != "decided" || got[1] != "pending" {
+		t.Fatalf("columns = %v", got)
+	}
+	rows := s.Rows()
+	if rows[0].AtNS != int64(10*time.Millisecond) || rows[1].AtNS != int64(20*time.Millisecond) {
+		t.Fatalf("timestamps = %d, %d", rows[0].AtNS, rows[1].AtNS)
+	}
+	if rows[0].V[0] != 3 || rows[0].V[1] != 1 || rows[1].V[0] != 7 || rows[1].V[1] != 0 {
+		t.Fatalf("values = %v, %v", rows[0].V, rows[1].V)
+	}
+}
+
+// TestSeriesWriteJSONLDeterministic asserts the columnar dump is
+// byte-identical across writes: header naming the columns, then one row
+// per sample.
+func TestSeriesWriteJSONLDeterministic(t *testing.T) {
+	s := NewSeries(
+		SeriesColumn{Name: "events", Fn: func() float64 { return 42 }},
+	)
+	s.Sample(5 * time.Millisecond)
+	var a, b bytes.Buffer
+	if err := s.WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("series dump not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want header + 1 row", len(lines))
+	}
+	if lines[0] != `{"series":["events"]}` {
+		t.Fatalf("header = %s", lines[0])
+	}
+	if lines[1] != `{"at_ns":5000000,"v":[42]}` {
+		t.Fatalf("row = %s", lines[1])
+	}
+}

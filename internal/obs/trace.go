@@ -35,6 +35,11 @@ type Span struct {
 	Fault   string `json:"fault,omitempty"`
 	// Detail carries span-specific context (message kind, reason).
 	Detail string `json:"detail,omitempty"`
+	// Origin names the process that recorded the span. Single-process
+	// traces leave it empty; obs.Stitch stamps it when merging traces
+	// from multiple processes, and the field is compat-safe (omitted when
+	// empty, ignored by older readers).
+	Origin string `json:"origin,omitempty"`
 }
 
 type spanKey struct {
@@ -66,6 +71,10 @@ type Tracer struct {
 
 	completed int64 // root spans closed with a verdict
 	dropped   int64 // spans discarded (open at export, or over cap)
+	// dropC mirrors dropped onto a registry counter
+	// (jury_trace_spans_dropped_total) so a tripped MaxSpans cap is
+	// visible on /metrics instead of silently truncating the trace.
+	dropC *Counter
 
 	// MaxSpans bounds retained completed spans (0 = unlimited). When the
 	// cap is hit, further closes are counted in Dropped instead.
@@ -191,9 +200,23 @@ func (t *Tracer) nextSeq() uint64 {
 func (t *Tracer) close(s Span) {
 	if t.MaxSpans > 0 && len(t.done) >= t.MaxSpans {
 		t.dropped++
+		if t.dropC != nil {
+			t.dropC.Inc()
+		}
 		return
 	}
 	t.done = append(t.done, s)
+}
+
+// InstrumentMetrics exposes the tracer's drop count as
+// jury_trace_spans_dropped_total on reg, so spans silently discarded by a
+// tripped MaxSpans cap surface on /metrics. Nil-safe.
+func (t *Tracer) InstrumentMetrics(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.dropC = reg.Counter("jury_trace_spans_dropped_total",
+		"Completed spans discarded by the MaxSpans cap.")
 }
 
 // CompletedTriggers returns the number of root spans closed with a

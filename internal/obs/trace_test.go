@@ -211,3 +211,34 @@ func TestUsec(t *testing.T) {
 		}
 	}
 }
+
+// TestDroppedSpansCounter asserts MaxSpans drops surface on the
+// instrumented registry as jury_trace_spans_dropped_total.
+func TestDroppedSpansCounter(t *testing.T) {
+	tr, _ := newFakeTracer()
+	tr.MaxSpans = 2
+	reg := NewRegistry()
+	tr.InstrumentMetrics(reg)
+	for i := 0; i < 5; i++ {
+		id := string(rune('a' + i))
+		tr.StartTrigger(id, "")
+		tr.EndTrigger(id, "valid", "none")
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	if got := reg.Counter("jury_trace_spans_dropped_total", "").Value(); got != 3 {
+		t.Fatalf("jury_trace_spans_dropped_total = %d, want 3", got)
+	}
+}
+
+// TestInstrumentMetricsNilSafe asserts instrumenting a nil tracer or a
+// nil registry is inert.
+func TestInstrumentMetricsNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.InstrumentMetrics(NewRegistry())
+	tr2, _ := newFakeTracer()
+	tr2.InstrumentMetrics(nil)
+	tr2.StartTrigger("τ", "")
+	tr2.EndTrigger("τ", "valid", "none")
+}

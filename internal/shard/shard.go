@@ -83,6 +83,18 @@ type Config struct {
 	// serialized by the plane; the hook must not call back into the
 	// dispatch side.
 	OnResult func(core.Result)
+	// FlightRing, when positive, arms a per-shard flight recorder of that
+	// capacity: every worker's validator records its trigger lifecycle
+	// events (submit/response/ψ/timer/verdict) into a fixed ring, and the
+	// plane dumps the merged rings when a dump predicate fires (fault
+	// verdict, queue overflow, queue high-watermark ≥ 3/4 QueueDepth).
+	// Zero leaves the recorder off and the hot path unchanged.
+	FlightRing int
+	// OnFlightDump receives each flight dump: the predicate that fired and
+	// the merged ring snapshot (oldest-first across shards). Calls are
+	// serialized by the plane and rate-limited to one dump per new
+	// recorded event; the hook must not call back into the dispatch side.
+	OnFlightDump func(reason string, events []obs.Event)
 }
 
 type itemKind uint8
@@ -91,6 +103,11 @@ const (
 	itemResponse itemKind = iota + 1
 	itemAdvance
 	itemFlush
+	// itemSync advances the worker's engine to an exact virtual instant
+	// (never past it, unlike itemFlush) and acks — the barrier behind
+	// Plane.Sync, which campaign telemetry uses to sample all shards at
+	// one virtual timestamp.
+	itemSync
 	// itemStall blocks the worker on a gate channel — a test hook for
 	// deterministically building a backlog behind a live worker.
 	itemStall
@@ -122,6 +139,11 @@ type worker struct {
 	// the shard is declared dead.
 	dead atomic.Bool
 
+	// rec is the shard's flight recorder (nil when Config.FlightRing is
+	// zero). The worker's validator appends to it; dump goroutines
+	// snapshot it concurrently (the recorder has its own mutex).
+	rec *obs.Recorder
+
 	depth    *obs.Gauge
 	enqueued *obs.Counter
 	overflow *obs.Counter
@@ -147,6 +169,13 @@ type Plane struct {
 	faults   *obs.Counter
 	nondet   *obs.Counter
 	timeouts *obs.Counter
+
+	// dumpMu serializes flight dumps (predicates fire from both the
+	// dispatcher and worker result paths) and guards dumpSeen, the total
+	// recorded-event count at the last dump — the rate limiter that
+	// suppresses a dump when nothing new was recorded since.
+	dumpMu   sync.Mutex
+	dumpSeen uint64
 }
 
 // New builds and starts a validation plane. The workers run until Close.
@@ -188,6 +217,11 @@ func New(cfg Config) (*Plane, error) {
 			eng:      simnet.NewEngine(cfg.Seed),
 			q:        make(chan item, cfg.QueueDepth),
 			dieC:     make(chan chan []item),
+		}
+		if cfg.FlightRing > 0 {
+			w.rec = obs.NewRecorder(cfg.FlightRing)
+			w.rec.SetShard(i)
+			vcfg.Recorder = w.rec
 		}
 		w.v = core.NewValidator(w.eng, cfg.Members, vcfg)
 		w.v.OnResult = p.onResult
@@ -233,6 +267,9 @@ func (p *Plane) onResult(r core.Result) {
 	}
 	if p.cfg.OnResult != nil {
 		p.cfg.OnResult(r)
+	}
+	if r.Verdict == core.VerdictFault {
+		p.FlightDump("verdict:" + r.Fault.String())
 	}
 }
 
@@ -310,22 +347,42 @@ func (w *worker) process(it item) {
 		if it.ack != nil {
 			it.ack <- struct{}{}
 		}
+	case itemSync:
+		// Advance to the sync instant exactly — never RunUntilIdle, which
+		// would overshoot and expire timers beyond the barrier.
+		if it.to > w.eng.Now() {
+			_ = w.eng.Run(it.to)
+		}
+		if it.ack != nil {
+			it.ack <- struct{}{}
+		}
 	case itemStall:
 		<-it.gate
 	}
 }
 
 // enqueue places one item on a worker's queue, blocking (and counting the
-// stall) when the queue is full: backpressure, never loss.
+// stall) when the queue is full: backpressure, never loss. A stall, or a
+// queue crossing 3/4 of its depth, is a saturation signal and fires a
+// flight dump.
 func (p *Plane) enqueue(w *worker, it item) {
+	stalled := false
 	select {
 	case w.q <- it:
 	default:
 		w.overflow.Inc()
+		stalled = true
 		w.q <- it
 	}
 	w.enqueued.Inc()
 	w.depth.Add(1)
+	if w.rec != nil {
+		if stalled {
+			p.FlightDump("overflow")
+		} else if int(w.depth.Value()) >= (3*p.cfg.QueueDepth)/4 {
+			p.FlightDump("queue-high-watermark")
+		}
+	}
 }
 
 // ownerOf maps a trigger onto its live owning shard: the FNV home shard,
@@ -373,6 +430,27 @@ func (p *Plane) Advance(to time.Duration) {
 		if p.alive[i] {
 			p.enqueue(w, item{kind: itemAdvance, to: to})
 		}
+	}
+}
+
+// Sync is a barrier at one virtual instant: every live shard processes
+// everything queued ahead of the barrier, advances its engine to exactly
+// `to` (expiring timers up to it, never past it), and acks. On return all
+// shards sit at the same virtual time, so aggregate validator counters
+// read immediately after form a consistent snapshot — the campaign
+// time-series sampler runs on this. Dispatch side: callers serialize.
+func (p *Plane) Sync(to time.Duration) {
+	acks := make([]chan struct{}, 0, len(p.workers))
+	for i, w := range p.workers {
+		if !p.alive[i] {
+			continue
+		}
+		ack := make(chan struct{}, 1)
+		p.enqueue(w, item{kind: itemSync, to: to, ack: ack})
+		acks = append(acks, ack)
+	}
+	for _, ack := range acks {
+		<-ack
 	}
 }
 
@@ -452,7 +530,7 @@ func (p *Plane) Kill(i int) int {
 			p.enqueue(p.workers[to], item{kind: itemResponse, r: it.r, owner: true})
 			p.workers[to].steals.Inc()
 			adopted++
-		case itemFlush:
+		case itemFlush, itemSync:
 			if it.ack != nil {
 				it.ack <- struct{}{} // the dead engine flushed in die
 			}
@@ -514,6 +592,59 @@ func (p *Plane) ShardDecided(i int) int64 {
 		return 0
 	}
 	return p.workers[i].v.Decided()
+}
+
+// QueueHighWatermark returns the deepest one shard's intake queue has
+// ever been — a saturation diagnostic that outlives the episode. Zero for
+// an out-of-range shard.
+func (p *Plane) QueueHighWatermark(i int) int {
+	if i < 0 || i >= len(p.workers) {
+		return 0
+	}
+	return int(p.workers[i].depth.HighWatermark())
+}
+
+// FlightRecording reports whether the plane's flight recorders are armed.
+func (p *Plane) FlightRecording() bool {
+	return len(p.workers) > 0 && p.workers[0].rec != nil
+}
+
+// FlightSnapshot merges every shard's flight ring into one oldest-first
+// event stream (ordered by virtual time, then shard, then ring sequence).
+// Nil when FlightRing was zero. Safe from any goroutine: each ring is
+// snapshotted under its own lock while workers keep recording.
+func (p *Plane) FlightSnapshot() []obs.Event {
+	if !p.FlightRecording() {
+		return nil
+	}
+	snaps := make([][]obs.Event, 0, len(p.workers))
+	for _, w := range p.workers {
+		snaps = append(snaps, w.rec.Snapshot())
+	}
+	return obs.MergeEvents(snaps...)
+}
+
+// FlightDump snapshots the merged flight rings and hands them to
+// Config.OnFlightDump with the given reason. Dumps are rate-limited:
+// when no shard has recorded a new event since the last dump the call is
+// a no-op, so a predicate that keeps firing during one saturation episode
+// produces one dump per fresh evidence, not one per enqueue. Safe from
+// any goroutine; a no-op without recorders or a hook.
+func (p *Plane) FlightDump(reason string) {
+	if p.cfg.OnFlightDump == nil || !p.FlightRecording() {
+		return
+	}
+	p.dumpMu.Lock()
+	defer p.dumpMu.Unlock()
+	var total uint64
+	for _, w := range p.workers {
+		total += w.rec.Total()
+	}
+	if total == p.dumpSeen {
+		return
+	}
+	p.dumpSeen = total
+	p.cfg.OnFlightDump(reason, p.FlightSnapshot())
 }
 
 // Steals returns the responses adopted from killed shards, summed.

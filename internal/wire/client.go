@@ -45,6 +45,16 @@ type ClientConfig struct {
 	WriteTimeout time.Duration
 	// Metrics optionally publishes the jury_wire_client_* families.
 	Metrics *obs.Registry
+	// Trace, when set, is the span-context template stamped onto every
+	// outgoing response envelope (Origin copied verbatim, BaseNS refreshed
+	// from TraceNow at enqueue time) so the server can stitch this
+	// client's trace against its own. Old servers ignore the field.
+	Trace *TraceContext
+	// TraceNow reads the sender's virtual clock for Trace.BaseNS; nil
+	// freezes BaseNS at the template value. Called on the Send caller's
+	// goroutine, so a single-goroutine clock (a simnet engine driven by
+	// the same event loop that calls Send) is safe.
+	TraceNow func() time.Duration
 	// OnResult observes pushed validation results.
 	OnResult func(core.Result)
 	// OnStats observes stats replies.
@@ -182,7 +192,15 @@ func (c *Client) dial() (net.Conn, error) {
 // client is closed. A full queue sheds its oldest entry (counted on
 // Dropped()).
 func (c *Client) Send(r core.Response) error {
-	return c.enqueue(Envelope{Type: TypeResponse, Response: &r})
+	env := Envelope{Type: TypeResponse, Response: &r}
+	if c.cfg.Trace != nil {
+		tc := *c.cfg.Trace
+		if c.cfg.TraceNow != nil {
+			tc.BaseNS = int64(c.cfg.TraceNow())
+		}
+		env.Trace = &tc
+	}
+	return c.enqueue(env)
 }
 
 // RequestStats asks the server for a stats snapshot (delivered to

@@ -66,6 +66,22 @@ type ServerConfig struct {
 	// WriteTimeout bounds one push write so a stalled peer cannot wedge
 	// the event loop (default DefaultWriteTimeout; negative disables).
 	WriteTimeout time.Duration
+	// Tracing arms a per-trigger span tracer on the service's virtual
+	// clock; the trace is read back with WriteTrace. Only the single
+	// engine+validator mode can trace (the obs tracer is single-goroutine
+	// by contract), so Tracing with Shards > 1 is rejected at Serve time.
+	Tracing bool
+	// FlightRing, when positive, arms a flight recorder of that capacity
+	// on the validator (per-shard rings when Shards > 1): the last N
+	// trigger lifecycle events are always on hand, and a fault verdict
+	// dumps them to OnFlightDump. FlightSnapshot reads the ring on demand
+	// (juryd's shutdown dump and -flight-dump flag).
+	FlightRing int
+	// OnFlightDump receives each dump-on-alarm flight snapshot (merged
+	// oldest-first) with the reason that fired it. Calls are serialized
+	// and rate-limited to one dump per newly recorded event. The hook
+	// must not call back into the server.
+	OnFlightDump func(reason string, events []obs.Event)
 	// Metrics is the registry for the connection-lifecycle metric
 	// families (jury_wire_*); nil shares the validator's registry, so
 	// juryd's /metrics page carries them with no extra wiring.
@@ -177,6 +193,23 @@ type Server struct {
 	mu        sync.Mutex
 	eng       *simnet.Engine  // guarded by mu
 	validator *core.Validator // guarded by mu
+	// tracer is the single-engine mode's span tracer (nil unless
+	// ServerConfig.Tracing); single-goroutine, so every touch is under mu.
+	tracer *obs.Tracer // guarded by mu
+	// traceShifts maps each client origin to the estimated clock-base
+	// shift (receiver elapsed − sender BaseNS at first sight), the ShiftNS
+	// obs.Stitch needs to align that origin's trace onto this server's
+	// timeline.
+	traceShifts map[string]int64 // guarded by mu
+	// rec is the single-engine mode's flight recorder (nil unless
+	// ServerConfig.FlightRing > 0; the plane owns its own rings instead).
+	// The recorder is internally locked, so snapshots need no mu.
+	rec *obs.Recorder
+
+	// dumpMu guards dumpSeen, the recorded-event total at the last
+	// dump-on-alarm — the same rate limiter the shard plane uses.
+	dumpMu   sync.Mutex
+	dumpSeen uint64
 	// plane replaces eng+validator when cfg.Shards > 1. The pointer is
 	// immutable after construction; its dispatch calls (Submit/Advance)
 	// still run under mu because the plane's dispatch side must be
@@ -221,18 +254,22 @@ func ServeListener(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		plane     *shard.Plane
 		reg       *obs.Registry
 	)
+	var tracer *obs.Tracer
+	var rec *obs.Recorder
 	if cfg.Shards > 1 {
-		if cfg.Validator.Tracer != nil {
+		if cfg.Validator.Tracer != nil || cfg.Tracing {
 			_ = ln.Close()
-			return nil, fmt.Errorf("wire: per-trigger tracing is single-goroutine and cannot cross the shard plane; unset Validator.Tracer or run with Shards <= 1")
+			return nil, fmt.Errorf("wire: per-trigger tracing is single-goroutine and cannot cross the shard plane; unset Validator.Tracer/Tracing or run with Shards <= 1")
 		}
 		var err error
 		plane, err = shard.New(shard.Config{
-			Shards:     cfg.Shards,
-			QueueDepth: cfg.QueueDepth,
-			Validator:  cfg.Validator,
-			Members:    members,
-			Metrics:    cfg.Metrics,
+			Shards:       cfg.Shards,
+			QueueDepth:   cfg.QueueDepth,
+			Validator:    cfg.Validator,
+			Members:      members,
+			Metrics:      cfg.Metrics,
+			FlightRing:   cfg.FlightRing,
+			OnFlightDump: cfg.OnFlightDump,
 		})
 		if err != nil {
 			_ = ln.Close()
@@ -241,21 +278,33 @@ func ServeListener(ln net.Listener, cfg ServerConfig) (*Server, error) {
 		reg = plane.Metrics()
 	} else {
 		eng = simnet.NewEngine(0)
+		if cfg.Tracing && cfg.Validator.Tracer == nil {
+			cfg.Validator.Tracer = obs.NewTracer(eng.Now)
+		}
+		tracer = cfg.Validator.Tracer
+		if cfg.FlightRing > 0 {
+			rec = obs.NewRecorder(cfg.FlightRing)
+			cfg.Validator.Recorder = rec
+		}
 		validator = core.NewValidator(eng, members, cfg.Validator)
 		reg = cfg.Metrics
 		if reg == nil {
 			reg = validator.Metrics()
 		}
+		tracer.InstrumentMetrics(reg)
 	}
 	s := &Server{
-		ln:        ln,
-		cfg:       cfg,
-		eng:       eng,
-		validator: validator,
-		plane:     plane,
-		started:   cfg.Clock(),
-		conns:     make(map[net.Conn]*srvConn),
-		stop:      make(chan struct{}),
+		ln:          ln,
+		cfg:         cfg,
+		eng:         eng,
+		validator:   validator,
+		tracer:      tracer,
+		rec:         rec,
+		traceShifts: make(map[string]int64),
+		plane:       plane,
+		started:     cfg.Clock(),
+		conns:       make(map[net.Conn]*srvConn),
+		stop:        make(chan struct{}),
 	}
 	s.m = newServerMetrics(reg)
 	// broadcast takes only connsMu, never mu: plane decisions land on
@@ -314,6 +363,42 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.validator.Metrics().WritePrometheus(w)
+}
+
+// TraceOrigins returns the estimated clock-base shift for every client
+// origin that has stamped a TraceContext, keyed by origin name. Feed a
+// shift as StitchInput.ShiftNS to align that origin's JSONL trace onto
+// this server's timeline.
+func (s *Server) TraceOrigins() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.traceShifts))
+	for k, v := range s.traceShifts {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteTrace writes the service's span trace as JSONL (the obs.Stitch
+// input format), serialized against the event loop. Errors unless the
+// server was started with Tracing (or an injected Validator.Tracer).
+func (s *Server) WriteTrace(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tracer == nil {
+		return fmt.Errorf("wire: server has no tracer; start it with ServerConfig.Tracing")
+	}
+	return s.tracer.WriteJSONL(w)
+}
+
+// FlightSnapshot returns the flight recorder's merged ring (oldest
+// first), or nil when ServerConfig.FlightRing was zero. Safe from any
+// goroutine.
+func (s *Server) FlightSnapshot() []obs.Event {
+	if s.plane != nil {
+		return s.plane.FlightSnapshot()
+	}
+	return s.rec.Snapshot()
 }
 
 // Alarms returns the validator's retained alarms.
@@ -525,6 +610,16 @@ func (s *Server) serveConn(sc *srvConn) {
 			s.m.responses.Inc()
 			s.mu.Lock()
 			s.advance()
+			if tc := env.Trace; tc != nil && tc.Origin != "" {
+				// First sight of an origin fixes its clock-base shift:
+				// our elapsed time minus the sender's virtual clock at
+				// send time. One sample suffices — both clocks advance
+				// at the same rate, only their bases differ.
+				if _, ok := s.traceShifts[tc.Origin]; !ok {
+					elapsed := s.cfg.Clock().Sub(s.started)
+					s.traceShifts[tc.Origin] = int64(elapsed) - tc.BaseNS
+				}
+			}
 			if s.plane != nil {
 				s.plane.Submit(*env.Response)
 			} else {
@@ -567,6 +662,17 @@ func (s *Server) touch(sc *srvConn) {
 // delivering a result cannot deadlock against a dispatcher blocked on
 // that worker's full intake queue.
 func (s *Server) broadcast(r core.Result) {
+	if r.Verdict == core.VerdictFault && s.rec != nil && s.cfg.OnFlightDump != nil {
+		// Single-engine dump-on-alarm (the plane runs its own). Reading
+		// the ring takes only the recorder's internal lock, so this holds
+		// no server lock and cannot deadlock either mode.
+		s.dumpMu.Lock()
+		if total := s.rec.Total(); total != s.dumpSeen {
+			s.dumpSeen = total
+			s.cfg.OnFlightDump("verdict:"+r.Fault.String(), s.rec.Snapshot())
+		}
+		s.dumpMu.Unlock()
+	}
 	if s.cfg.AlarmsOnly && r.Verdict != core.VerdictFault {
 		return
 	}

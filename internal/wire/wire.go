@@ -60,6 +60,24 @@ type Envelope struct {
 	Response *core.Response `json:"response,omitempty"`
 	Result   *core.Result   `json:"result,omitempty"`
 	Stats    *Stats         `json:"stats,omitempty"`
+	// Trace carries the sender's span context for cross-process trace
+	// stitching. Optional and compat-safe: old peers omit it and ignore
+	// it; nothing in the validation path depends on it.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext is the span context a client stamps on its envelopes so
+// the validator can align the two processes' virtual clocks and a
+// stitcher (obs.Stitch*) can merge their JSONL traces onto one timeline.
+type TraceContext struct {
+	// Origin names the sending process ("jurylive"); it becomes the
+	// Chrome-trace process row after stitching.
+	Origin string `json:"origin"`
+	// BaseNS is the sender's virtual clock at send time. The receiver
+	// pairs it with its own elapsed time on arrival to estimate the
+	// clock-base shift between the two processes (wire.Server.TraceOrigins
+	// reports the estimate per origin).
+	BaseNS int64 `json:"base_ns"` // vclock:wire -- sender virtual clock at send time
 }
 
 // Stats summarizes the validator state.

@@ -80,6 +80,10 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.EnableTracing && cfg.Tracer == nil {
 		cfg.Tracer = obs.NewTracer(eng.Now)
 	}
+	cfg.Tracer.InstrumentMetrics(cfg.Metrics)
+	if cfg.FlightRing != 0 && cfg.FlightRecorder == nil {
+		cfg.FlightRecorder = obs.NewRecorder(cfg.FlightRing)
+	}
 
 	top := cfg.CustomTopology
 	if top == nil {
@@ -174,6 +178,7 @@ func (s *Simulation) wireJury() error {
 		RelayAll: cfg.RelayAll,
 		Metrics:  cfg.Metrics,
 		Tracer:   cfg.Tracer,
+		Recorder: cfg.FlightRecorder,
 	}
 	s.System = core.NewSystem(s.Engine, s.Members, sysCfg)
 	for _, ctrl := range s.Controllers {
@@ -310,6 +315,10 @@ func (s *Simulation) Metrics() *obs.Registry { return s.Config.Metrics }
 // Tracer returns the trigger tracer (nil when tracing is disabled).
 func (s *Simulation) Tracer() *obs.Tracer { return s.Config.Tracer }
 
+// FlightRecorder returns the validator's flight recorder (nil when
+// flight recording is disabled).
+func (s *Simulation) FlightRecorder() *obs.Recorder { return s.Config.FlightRecorder }
+
 // Validator returns the out-of-band validator (nil when JURY is off).
 func (s *Simulation) Validator() *core.Validator {
 	if s.System == nil {
@@ -378,6 +387,9 @@ func ServeValidator(addr string, cfg ValidatorServiceConfig) (*wire.Server, erro
 		Members:        ids,
 		Switches:       ds,
 		AlarmsOnly:     cfg.AlarmsOnly,
+		Tracing:        cfg.Tracing,
+		FlightRing:     cfg.FlightRing,
+		OnFlightDump:   cfg.OnFlightDump,
 		MaxLineBytes:   cfg.MaxLineBytes,
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		IdleTimeout:    cfg.IdleTimeout,
