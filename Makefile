@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify figures bench bench-obs bench-shard bench-load trace
+.PHONY: build test race lint verify figures bench bench-obs bench-shard bench-load bench-wire trace
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,15 @@ bench-load:
 	{ $(GO) test -run '^$$' -bench BenchmarkSourceNext -benchmem ./internal/loadgen; \
 	  $(GO) test -run '^$$' -bench BenchmarkLoadStreamScaling -benchtime 3x .; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_load.json
+
+# bench-wire mints BENCH_wire.json: both wire codecs moving the same
+# seeded workload over a TCP loopback in one run (cmd/benchwire). The
+# zero-alloc steady-state encode/decode invariant is pinned first, then
+# the bench itself enforces binary >= 5x json envelopes/sec and RTT p99
+# parity (see the cmd/benchwire doc comment for the methodology).
+bench-wire:
+	$(GO) test ./internal/wire -run TestBinCodecZeroAllocSteadyState -count=1
+	$(GO) run ./cmd/benchwire -n 100000 -rtt 2000 -out BENCH_wire.json
 
 # trace produces an example Chrome trace_event file from the quickstart
 # scenario; open trace.json in chrome://tracing or https://ui.perfetto.dev.

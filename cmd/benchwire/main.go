@@ -1,0 +1,470 @@
+// Command benchwire benchmarks the two wire codecs head to head over a
+// real TCP loopback socket and emits a machine-readable comparison
+// (BENCH_wire.json via make bench-wire).
+//
+// Both codecs move the identical seeded workload through the same
+// harness in one run: a sink goroutine accepts the connection, mirrors
+// the sender's codec off the first byte exactly like wire.Server, fully
+// decodes every envelope, and echoes the end-of-run marker back so the
+// measured interval covers encode + socket + decode, not just the send
+// side. The JSON leg encodes one envelope per write (what the original
+// line protocol does); the binary leg coalesces frames into batched
+// writes (what wire.Client does with -codec binary). A second phase
+// measures single-envelope echo round-trips per codec and reports
+// p50/p99, so the throughput win is shown at latency parity rather than
+// bought with batching delay.
+//
+// Usage:
+//
+//	benchwire -n 100000 -rtt 2000 -out BENCH_wire.json -min-ratio 5
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/jurysdn/jury/internal/core"
+	"github.com/jurysdn/jury/internal/openflow"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+	"github.com/jurysdn/jury/internal/wire"
+)
+
+// row is one codec's measured results. Every field is a plain number:
+// durations are converted to int64 nanoseconds at the measurement
+// boundary so the document carries no virtual-time values.
+type row struct {
+	Codec            string  `json:"codec"`
+	Envelopes        int64   `json:"envelopes"`
+	Bytes            int64   `json:"bytes"`
+	BytesPerEnvelope float64 `json:"bytes_per_envelope"`
+	ElapsedNS        int64   `json:"elapsed_ns"`
+	EnvelopesPerSec  float64 `json:"envelopes_per_sec"`
+	NSPerEnvelope    float64 `json:"ns_per_envelope"`
+	RTTp50NS         int64   `json:"rtt_p50_ns"`
+	RTTp99NS         int64   `json:"rtt_p99_ns"`
+}
+
+// document is the BENCH_wire.json schema.
+type document struct {
+	Format    string `json:"format"` // "wire-codec-bench"
+	Goos      string `json:"goos"`
+	Goarch    string `json:"goarch"`
+	CPU       int    `json:"cpu"`
+	Envelopes int64  `json:"envelopes"`
+	Batch     int    `json:"batch"`
+	Seed      int64  `json:"seed"`
+	Rows      []row  `json:"rows"`
+	// Ratio is binary envelopes/sec over JSON envelopes/sec — the
+	// headline the bench exists to defend (target: >= 5).
+	Ratio float64 `json:"ratio_envelopes_per_sec"`
+	// RTTp99Ratio is binary p99 over JSON p99 — parity means <= ~1.
+	RTTp99Ratio float64 `json:"rtt_p99_ratio"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int("n", 100000, "envelopes per throughput leg")
+		rttN     = flag.Int("rtt", 2000, "echo round-trips per latency leg")
+		batch    = flag.Int("batch", 64, "binary frames coalesced per write (the client's MaxBatch)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		maxFrame = flag.Int("max-frame", wire.DefaultMaxLineBytes, "reader-side frame/line cap")
+		out      = flag.String("out", "", "also write the JSON document to this path")
+		minRatio = flag.Float64("min-ratio", 5, "fail unless binary/json envelopes-per-sec ratio reaches this (0 = report only)")
+		maxP99x  = flag.Float64("max-p99x", 3, "fail if binary RTT p99 exceeds json p99 by this factor (0 = report only)")
+	)
+	flag.Parse()
+	if *n <= 0 || *rttN <= 0 || *batch <= 0 {
+		return fmt.Errorf("benchwire: -n, -rtt and -batch must be positive")
+	}
+
+	envs := makeWorkload(*seed)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	sinkErr := make(chan error, 1)
+	go func() { sinkErr <- sink(ln, 2, *maxFrame) }()
+
+	doc := document{
+		Format:    "wire-codec-bench",
+		Goos:      runtime.GOOS,
+		Goarch:    runtime.GOARCH,
+		CPU:       runtime.NumCPU(),
+		Envelopes: int64(*n),
+		Batch:     *batch,
+		Seed:      *seed,
+	}
+	for _, codec := range []wire.Codec{wire.CodecJSON, wire.CodecBinary} {
+		r, err := benchCodec(ln.Addr().String(), codec, envs, *n, *rttN, *batch, *maxFrame)
+		if err != nil {
+			return fmt.Errorf("benchwire: %s leg: %w", codec, err)
+		}
+		doc.Rows = append(doc.Rows, r)
+	}
+	if err := <-sinkErr; err != nil {
+		return fmt.Errorf("benchwire: sink: %w", err)
+	}
+
+	jsonRow, binRow := doc.Rows[0], doc.Rows[1]
+	doc.Ratio = binRow.EnvelopesPerSec / jsonRow.EnvelopesPerSec
+	if jsonRow.RTTp99NS > 0 {
+		doc.RTTp99Ratio = float64(binRow.RTTp99NS) / float64(jsonRow.RTTp99NS)
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if _, err := os.Stdout.Write(blob); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *minRatio > 0 && doc.Ratio < *minRatio {
+		return fmt.Errorf("benchwire: binary/json throughput ratio %.2f below -min-ratio %.2f", doc.Ratio, *minRatio)
+	}
+	if *maxP99x > 0 && doc.RTTp99Ratio > *maxP99x {
+		return fmt.Errorf("benchwire: binary RTT p99 is %.2fx json (cap -max-p99x %.2f)", doc.RTTp99Ratio, *maxP99x)
+	}
+	return nil
+}
+
+// workloadPool is how many distinct envelopes the generator builds; the
+// throughput leg cycles through them so the encode path sees varied
+// strings without the bench holding -n envelopes in memory.
+const workloadPool = 4096
+
+// makeWorkload builds the seeded envelope mix both legs replay: mostly
+// tainted cache writes (the replicated-execution hot path), a slice of
+// southbound network writes, and the occasional primary response — the
+// same shape juryload streams at a live validator.
+func makeWorkload(seed int64) []wire.Envelope {
+	rng := rand.New(rand.NewSource(seed))
+	envs := make([]wire.Envelope, workloadPool)
+	for i := range envs {
+		r := &core.Response{
+			Controller:   store.NodeID(rng.Intn(7)),
+			Trigger:      trigger.ID(fmt.Sprintf("w-%d", i/8)),
+			Kind:         core.SecondaryExec,
+			Tainted:      true,
+			Primary:      store.NodeID(rng.Intn(7)),
+			Cache:        store.FlowsDB,
+			Op:           store.OpUpdate,
+			Key:          fmt.Sprintf("flow/h%d>h%d", rng.Intn(512), rng.Intn(512)),
+			Value:        fmt.Sprintf("fwd:p%d:prio%d", rng.Intn(48), rng.Intn(8)),
+			StateDigest:  rng.Uint64(),
+			StateApplied: uint64(i),
+			Prev:         fmt.Sprintf("fwd:p%d:prio%d", rng.Intn(48), rng.Intn(8)),
+			PrevOK:       i%3 != 0,
+			At:           time.Duration(i) * 13 * time.Microsecond,
+		}
+		switch i % 8 {
+		case 0: // the primary's own answer
+			r.Kind = core.CacheUpdate
+			r.Tainted = false
+			r.Controller = r.Primary
+		case 7: // southbound egress instead of a cache write
+			r.Kind = core.NetworkWrite
+			r.Cache = ""
+			r.Op = 0
+			r.Key = ""
+			r.Value = ""
+			r.DPID = topo.DPID(rng.Intn(24) + 1)
+			r.MsgType = openflow.TypeFlowMod
+			r.MsgBody = fmt.Sprintf("FLOW_MOD{dpid=%d match=h%d>h%d out=p%d}", r.DPID, rng.Intn(512), rng.Intn(512), rng.Intn(48))
+			r.WireLen = 56 + rng.Intn(32)
+		}
+		envs[i] = wire.Envelope{Type: wire.TypeResponse, Response: r}
+	}
+	return envs
+}
+
+// sink accepts conns connections sequentially and serves each one:
+// mirror the sender's codec off the first byte (exactly the server's
+// handshake rule), fully decode every envelope, and echo TypeStats
+// envelopes back as the end-of-run / round-trip marker.
+func sink(ln net.Listener, conns, maxFrame int) error {
+	for i := 0; i < conns; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		err = serveSink(conn, maxFrame)
+		_ = conn.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func serveSink(conn net.Conn, maxFrame int) error {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	first, err := br.Peek(1)
+	if err != nil {
+		return err
+	}
+	if first[0] == wire.BinMagic {
+		if _, err := br.Discard(1); err != nil {
+			return err
+		}
+		return sinkBinary(conn, br, maxFrame)
+	}
+	return sinkJSON(conn, br, maxFrame)
+}
+
+func sinkBinary(conn net.Conn, br *bufio.Reader, maxFrame int) error {
+	r := wire.NewBinReader(br, maxFrame)
+	echo := make([]byte, 0, 4096)
+	for {
+		env, err := r.ReadEnvelope()
+		if err != nil {
+			if isEOF(err) {
+				return nil
+			}
+			return err
+		}
+		if env.Type == wire.TypeStats {
+			// env borrows from the reader; the echo is written before
+			// the next ReadEnvelope, so the borrow never outlives it.
+			echo = wire.AppendEnvelope(echo[:0], env)
+			if _, err := conn.Write(echo); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func sinkJSON(conn net.Conn, br *bufio.Reader, maxFrame int) error {
+	lr := wire.NewLineReader(br, maxFrame)
+	enc := json.NewEncoder(conn)
+	for {
+		line, err := lr.ReadLine()
+		if err != nil {
+			if isEOF(err) {
+				return nil
+			}
+			return err
+		}
+		var env wire.Envelope
+		if err := json.Unmarshal(line, &env); err != nil {
+			return err
+		}
+		if env.Type == wire.TypeStats {
+			if err := enc.Encode(&env); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func isEOF(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return false
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}
+
+// benchCodec runs one codec's throughput leg then its RTT leg on a
+// fresh connection and returns the filled row.
+func benchCodec(addr string, codec wire.Codec, envs []wire.Envelope, n, rttN, batch, maxFrame int) (row, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return row{}, err
+	}
+	defer conn.Close()
+
+	elapsedNS, bytes, err := throughput(conn, codec, envs, n, batch, maxFrame)
+	if err != nil {
+		return row{}, err
+	}
+	samples, err := echoRTT(conn, codec, &envs[0], rttN, maxFrame)
+	if err != nil {
+		return row{}, err
+	}
+
+	r := row{
+		Codec:            codec.String(),
+		Envelopes:        int64(n),
+		Bytes:            bytes,
+		BytesPerEnvelope: float64(bytes) / float64(n),
+		ElapsedNS:        elapsedNS,
+		RTTp50NS:         percentileNS(samples, 50),
+		RTTp99NS:         percentileNS(samples, 99),
+	}
+	if elapsedNS > 0 {
+		r.EnvelopesPerSec = float64(n) / (float64(elapsedNS) / 1e9)
+		r.NSPerEnvelope = float64(elapsedNS) / float64(n)
+	}
+	return r, nil
+}
+
+// throughput streams n envelopes and a TypeStats end-marker, then waits
+// for the sink's echo of the marker: the sink decodes in order, so the
+// echo bounds decode of everything before it. Returns wall nanoseconds
+// and payload bytes written.
+func throughput(conn net.Conn, codec wire.Codec, envs []wire.Envelope, n, batch, maxFrame int) (int64, int64, error) {
+	marker := wire.Envelope{Type: wire.TypeStats, Stats: &wire.Stats{Decided: int64(n)}}
+	var bytes int64
+
+	start := time.Now() //jurylint:allow wallclock -- benchmark measurement boundary
+	switch codec {
+	case wire.CodecBinary:
+		if _, err := conn.Write([]byte{wire.BinMagic}); err != nil {
+			return 0, 0, err
+		}
+		bytes++
+		buf := make([]byte, 0, 1<<16)
+		for i := 0; i < n; i++ {
+			buf = wire.AppendEnvelope(buf, &envs[i%len(envs)])
+			if (i+1)%batch == 0 || i == n-1 {
+				nw, err := conn.Write(buf)
+				bytes += int64(nw)
+				if err != nil {
+					return 0, 0, err
+				}
+				buf = buf[:0]
+			}
+		}
+		buf = wire.AppendEnvelope(buf[:0], &marker)
+		nw, err := conn.Write(buf)
+		bytes += int64(nw)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := readBinEcho(conn, maxFrame); err != nil {
+			return 0, 0, err
+		}
+	default:
+		cw := &countingWriter{w: conn}
+		enc := json.NewEncoder(cw)
+		for i := 0; i < n; i++ {
+			if err := enc.Encode(&envs[i%len(envs)]); err != nil {
+				return 0, 0, err
+			}
+		}
+		if err := enc.Encode(&marker); err != nil {
+			return 0, 0, err
+		}
+		bytes = cw.n
+		if _, err := readJSONEcho(conn, maxFrame); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start) //jurylint:allow wallclock -- benchmark measurement boundary
+	return elapsed.Nanoseconds(), bytes, nil
+}
+
+// echoRTT measures rttN single-envelope round trips: one stats envelope
+// carrying a realistic response body out, the sink's full re-encode of
+// it back. Latency parity between the codecs means batching has not
+// bought throughput at the price of per-envelope delay.
+func echoRTT(conn net.Conn, codec wire.Codec, payload *wire.Envelope, rttN, maxFrame int) ([]int64, error) {
+	env := wire.Envelope{Type: wire.TypeStats, Stats: &wire.Stats{Decided: 1}, Response: payload.Response}
+	samples := make([]int64, 0, rttN)
+
+	switch codec {
+	case wire.CodecBinary:
+		buf := make([]byte, 0, 4096)
+		br := bufio.NewReaderSize(conn, 1<<16)
+		r := wire.NewBinReader(br, maxFrame)
+		for i := 0; i < rttN; i++ {
+			buf = wire.AppendEnvelope(buf[:0], &env)
+			start := time.Now() //jurylint:allow wallclock -- benchmark measurement boundary
+			if _, err := conn.Write(buf); err != nil {
+				return nil, err
+			}
+			if _, err := r.ReadEnvelope(); err != nil {
+				return nil, err
+			}
+			samples = append(samples, time.Since(start).Nanoseconds()) //jurylint:allow wallclock -- benchmark measurement boundary
+		}
+	default:
+		enc := json.NewEncoder(conn)
+		lr := wire.NewLineReader(bufio.NewReaderSize(conn, 1<<16), maxFrame)
+		for i := 0; i < rttN; i++ {
+			start := time.Now() //jurylint:allow wallclock -- benchmark measurement boundary
+			if err := enc.Encode(&env); err != nil {
+				return nil, err
+			}
+			if _, err := lr.ReadLine(); err != nil {
+				return nil, err
+			}
+			samples = append(samples, time.Since(start).Nanoseconds()) //jurylint:allow wallclock -- benchmark measurement boundary
+		}
+	}
+	return samples, nil
+}
+
+// readBinEcho reads one binary frame off conn (the echoed marker).
+func readBinEcho(conn net.Conn, maxFrame int) (*wire.Envelope, error) {
+	return wire.NewBinReader(bufio.NewReaderSize(conn, 4096), maxFrame).ReadEnvelope()
+}
+
+// readJSONEcho reads one JSON line off conn (the echoed marker).
+func readJSONEcho(conn net.Conn, maxFrame int) (*wire.Envelope, error) {
+	lr := wire.NewLineReader(bufio.NewReaderSize(conn, 4096), maxFrame)
+	line, err := lr.ReadLine()
+	if err != nil {
+		return nil, err
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// percentileNS returns the p-th percentile of the samples, nearest-rank.
+func percentileNS(samples []int64, p int) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int64, len(samples))
+	copy(s, samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}
+
+// countingWriter counts payload bytes on the JSON leg.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

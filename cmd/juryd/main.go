@@ -1,8 +1,9 @@
 // Command juryd runs JURY's out-of-band validator as a standalone network
 // service (the separate validator host of Fig. 2). Controller modules
-// connect over TCP and stream responses as JSON lines; juryd pushes every
-// validation result (or only alarms, with -alarms-only) back to all
-// connected clients and logs them.
+// connect over TCP and stream responses as JSON lines or length-prefixed
+// binary frames (negotiated per connection by a one-byte handshake; see
+// -codec); juryd pushes every validation result (or only alarms, with
+// -alarms-only) back to all connected clients and logs them.
 //
 // Usage:
 //
@@ -40,6 +41,7 @@ func run() error {
 		shards     = flag.Int("shards", 1, "validator shard count: >1 runs the parallel per-taint shard plane")
 		queueDepth = flag.Int("queue-depth", 0, "per-shard intake queue bound (0 = default; full queues backpressure, never drop)")
 		alarmsOnly = flag.Bool("alarms-only", false, "push only fault results to clients")
+		codecName  = flag.String("codec", "auto", "wire codec stance: auto (mirror each client's first byte), json (refuse binary handshakes), or binary")
 		statsEvery = flag.Duration("stats-every", 10*time.Second, "period for logging aggregate stats (0 = off)")
 		metricsAt  = flag.String("metrics", "", "serve Prometheus /metrics and /healthz on this address (e.g. 127.0.0.1:9091; empty = off)")
 
@@ -56,6 +58,10 @@ func run() error {
 	if *flightDump != "" && *flightRing == 0 {
 		*flightRing = obs.DefaultFlightRing
 	}
+	codec, err := wire.ParseCodec(*codecName)
+	if err != nil {
+		return fmt.Errorf("juryd: %w", err)
+	}
 	svcCfg := jury.ValidatorServiceConfig{
 		ClusterSize:       *members,
 		K:                 *k,
@@ -65,6 +71,7 @@ func run() error {
 		Shards:            *shards,
 		QueueDepth:        *queueDepth,
 		AlarmsOnly:        *alarmsOnly,
+		Codec:             codec,
 		Tracing:           *traceOut != "",
 		FlightRing:        *flightRing,
 		MaxLineBytes:      *maxLine,
@@ -89,7 +96,7 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("juryd: validating on %s (k=%d, n=%d, timeout=%v, shards=%d)", srv.Addr(), *k, *members, *timeout, *shards)
+	log.Printf("juryd: validating on %s (k=%d, n=%d, timeout=%v, shards=%d, codec=%s)", srv.Addr(), *k, *members, *timeout, *shards, codec)
 
 	if *metricsAt != "" {
 		expo, err := obs.ServeExpo(*metricsAt, obs.ExpoConfig{Write: srv.WriteMetrics})

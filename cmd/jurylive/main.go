@@ -63,6 +63,7 @@ func run() error {
 
 		validatorAt = flag.String("validator", "", "stream egress FLOW_MODs to a juryd validator at this address (empty = off)")
 		validatorK  = flag.Int("validator-k", 2, "fabricated secondary responses per egress (must match juryd -k)")
+		codecName   = flag.String("codec", "json", "wire codec toward the validator: json (newline-delimited, the default) or binary (length-prefixed frames, batched writes)")
 		traceOut    = flag.String("trace-out", "", "write the controller-side span trace (JSONL) to this path at exit; stitch against juryd -trace-out with jurytrace")
 	)
 	flag.Parse()
@@ -110,7 +111,12 @@ func run() error {
 		vStats   *wire.Stats
 	)
 	if *validatorAt != "" {
+		codec, err := wire.ParseCodec(*codecName)
+		if err != nil {
+			return fmt.Errorf("jurylive: %w", err)
+		}
 		ccfg := wire.ClientConfig{
+			Codec:   codec,
 			Metrics: reg,
 			OnResult: func(r core.Result) {
 				vmu.Lock()
@@ -148,7 +154,7 @@ func run() error {
 		}
 		defer c.Close()
 		vc = c
-		fmt.Printf("streaming egress FLOW_MODs to validator at %s (k=%d)\n", *validatorAt, *validatorK)
+		fmt.Printf("streaming egress FLOW_MODs to validator at %s (k=%d, codec=%s)\n", *validatorAt, *validatorK, codec)
 		egress := 0
 		ctrlPump.Do(func() {
 			ctrl.OnEgress = func(dpid topo.DPID, msg openflow.Message, _ *trigger.Context) {

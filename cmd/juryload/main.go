@@ -11,6 +11,7 @@
 //	juryload -k 8 -rates 10000,100000,1000000 -shards 1,2,4,8 -window 200ms
 //	juryload -smoke              # one brief point on a 1125-switch FatTree(30)
 //	juryload -k 8 -hosts 16777216 -drop 0.001 -rates 50000 -shards 4
+//	juryload -wire 127.0.0.1:9090 -codec binary -rates 50000   # stream to a live juryd
 //
 // Every row is deterministic for a given -seed (wall-clock columns
 // aside): the same campaign at -parallel 1 and -parallel 8 prints the
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -30,8 +32,13 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"github.com/jurysdn/jury/internal/core"
 	"github.com/jurysdn/jury/internal/loadgen"
 	"github.com/jurysdn/jury/internal/obs"
+	"github.com/jurysdn/jury/internal/store"
+	"github.com/jurysdn/jury/internal/topo"
+	"github.com/jurysdn/jury/internal/trigger"
+	"github.com/jurysdn/jury/internal/wire"
 )
 
 func main() {
@@ -58,6 +65,9 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "campaign root seed")
 		parallel = flag.Int("parallel", 0, "sweep parallelism (0 = GOMAXPROCS; results identical at any width)")
 		smoke    = flag.Bool("smoke", false, "run the 1k-switch smoke instead: one brief point on FatTree(30)")
+
+		wireAt    = flag.String("wire", "", "stream the synthesized workload to a running juryd at this address over the wire client instead of validating in-process (uses the first -rates point and -window)")
+		codecName = flag.String("codec", "json", "wire codec for -wire: json (newline-delimited) or binary (length-prefixed frames, batched writes)")
 
 		seriesOut   = flag.String("series-out", "", "write per-point campaign time series (columnar JSONL) into this directory (empty = off)")
 		seriesEvery = flag.Duration("series-every", 10*time.Millisecond, "virtual sampling period for -series-out")
@@ -90,6 +100,13 @@ func run() error {
 		cfg.Rates = []float64{10000}
 		cfg.Shards = []int{4}
 		cfg.Window = 20 * time.Millisecond
+	}
+	if *wireAt != "" {
+		codec, err := wire.ParseCodec(*codecName)
+		if err != nil {
+			return fmt.Errorf("-codec: %w", err)
+		}
+		return runWire(cfg, *wireAt, codec)
 	}
 
 	// Telemetry sinks: hooks run on sweep worker goroutines, so the
@@ -172,6 +189,178 @@ func run() error {
 			o.SubmitPerSec(cfg.Replicas+1), r.Digest, series, flight)
 	}
 	return w.Flush()
+}
+
+// runWire streams one synthesized workload window to a remote juryd over
+// the resilient wire client, replaying the same event-to-response mapping
+// the in-process campaign uses (FlowArrival fans out into one primary
+// cache write plus tainted secondary executions; churn and flaps become
+// untainted cache updates). It reports the client's own loss accounting
+// alongside the server's aggregate stats, so a codec or throughput
+// regression on the wire path is visible end to end.
+func runWire(cfg loadgen.CampaignConfig, addr string, codec wire.Codec) error {
+	top, err := topo.FatTree(cfg.K)
+	if err != nil {
+		return err
+	}
+	hosts := cfg.Hosts
+	if hosts == 0 {
+		hosts = uint64(top.NumHosts())
+	}
+	links := top.Links()
+	rate := cfg.Rates[0]
+	src, err := loadgen.NewSource(loadgen.Config{
+		Hosts:    hosts,
+		Links:    len(links),
+		MeanRate: rate,
+		Diurnal:  cfg.Diurnal,
+		Churn:    cfg.Churn,
+		Seed:     cfg.RootSeed,
+	})
+	if err != nil {
+		return err
+	}
+
+	n := cfg.Replicas + 1
+	members := make([]store.NodeID, n)
+	for i := range members {
+		members[i] = store.NodeID(i + 1)
+	}
+	var (
+		statsMu sync.Mutex
+		stats   *wire.Stats
+		results int64
+	)
+	c, err := wire.DialConfig(addr, wire.ClientConfig{
+		Codec:     codec,
+		QueueSize: 1 << 16,
+		OnResult:  func(core.Result) { statsMu.Lock(); results++; statsMu.Unlock() },
+		OnStats:   func(st wire.Stats) { statsMu.Lock(); stats = &st; statsMu.Unlock() },
+	})
+	if err != nil {
+		return fmt.Errorf("juryload: wire sink: %w", err)
+	}
+	defer c.Close()
+
+	drop := rand.New(rand.NewSource(cfg.RootSeed + 1))
+	fmt.Printf("juryload: streaming FatTree(%d) workload to %s (codec=%s, rate=%.0f/s, window=%v, replicas=%d)\n",
+		cfg.K, addr, codec, rate, cfg.Window, cfg.Replicas)
+	start := time.Now() //jurylint:allow wallclock -- wire throughput is measured in wall time
+	var events, envelopes, triggers int64
+	for {
+		ev := src.Next()
+		if ev.At > cfg.Window {
+			break
+		}
+		events++
+		switch ev.Kind {
+		case loadgen.FlowArrival:
+			triggers++
+			tid := trigger.ID(fmt.Sprintf("w-%d", triggers))
+			primary := members[ev.Src%uint64(n)]
+			key := fmt.Sprintf("flow/%d>%d", ev.Src, ev.Dst)
+			if cfg.DropRate <= 0 || drop.Float64() >= cfg.DropRate {
+				envelopes++
+				err := c.Send(core.Response{
+					Controller: primary, Primary: primary, Trigger: tid,
+					Kind: core.CacheUpdate, Tainted: false,
+					Cache: store.FlowsDB, Op: store.OpCreate,
+					Key: key, Value: "fwd", StateDigest: 9,
+					At: ev.At,
+				})
+				if err != nil {
+					return fmt.Errorf("juryload: send: %w", err)
+				}
+			}
+			at := ev.At
+			for _, sec := range members {
+				if sec == primary {
+					continue
+				}
+				at += time.Microsecond
+				envelopes++
+				err := c.Send(core.Response{
+					Controller: sec, Primary: primary, Trigger: tid,
+					Kind: core.SecondaryExec, Tainted: true,
+					Cache: store.FlowsDB, Op: store.OpCreate,
+					Key: key, Value: "fwd", StateDigest: 9,
+					At: at,
+				})
+				if err != nil {
+					return fmt.Errorf("juryload: send: %w", err)
+				}
+			}
+		case loadgen.HostJoin, loadgen.HostLeave:
+			op, val := store.OpUpdate, "join"
+			if ev.Kind == loadgen.HostLeave {
+				op, val = store.OpDelete, "gone"
+			}
+			envelopes++
+			err := c.Send(core.Response{
+				Controller: members[ev.Src%uint64(n)],
+				Kind:       core.CacheUpdate, Tainted: false,
+				Cache: store.HostDB, Op: op,
+				Key:   topo.HostMAC(int(ev.Src)).String(),
+				Value: val, StateDigest: 9,
+				At: ev.At,
+			})
+			if err != nil {
+				return fmt.Errorf("juryload: send: %w", err)
+			}
+		case loadgen.LinkFlap:
+			val := "down"
+			if ev.Up {
+				val = "up"
+			}
+			envelopes++
+			err := c.Send(core.Response{
+				Controller: members[uint64(ev.Link)%uint64(n)],
+				Kind:       core.CacheUpdate, Tainted: false,
+				Cache: store.LinksDB, Op: store.OpUpdate,
+				Key:   links[ev.Link].String(),
+				Value: val, StateDigest: 9,
+				At: ev.At,
+			})
+			if err != nil {
+				return fmt.Errorf("juryload: send: %w", err)
+			}
+		}
+	}
+	// Drain the bounded queue before measuring: what remains unsent past
+	// the deadline is loss, and loss is visible on Dropped().
+	deadline := time.Now().Add(30 * time.Second)         //jurylint:allow wallclock -- drain deadline on a live TCP sink
+	for c.Backlog() > 0 && time.Now().Before(deadline) { //jurylint:allow wallclock -- drain deadline on a live TCP sink
+		time.Sleep(5 * time.Millisecond) //jurylint:allow wallclock -- polling a live socket drain
+	}
+	elapsed := time.Since(start) //jurylint:allow wallclock -- wire throughput is measured in wall time
+	if err := c.RequestStats(); err != nil {
+		log.Printf("juryload: stats request: %v", err)
+	}
+	statsDeadline := time.Now().Add(3 * time.Second) //jurylint:allow wallclock -- stats-reply wait on a live TCP sink
+	for time.Now().Before(statsDeadline) {           //jurylint:allow wallclock -- stats-reply wait on a live TCP sink
+		statsMu.Lock()
+		done := stats != nil
+		statsMu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond) //jurylint:allow wallclock -- polling a live socket reply
+	}
+
+	perSec := float64(envelopes) / elapsed.Seconds()
+	fmt.Printf("juryload: %d events -> %d envelopes in %v wall (%.0f envelopes/s)\n",
+		events, envelopes, elapsed.Round(time.Millisecond), perSec)
+	fmt.Printf("juryload: wire client: dropped=%d reconnects=%d backlog=%d\n",
+		c.Dropped(), c.Reconnects(), c.Backlog())
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	if stats != nil {
+		fmt.Printf("juryload: server: decided=%d valid=%d alarms=%d timeouts=%d pending=%d (results pushed here: %d)\n",
+			stats.Decided, stats.Valid, stats.Faults, stats.Timeouts, stats.Pending, results)
+	} else {
+		fmt.Println("juryload: no stats reply (validator unreachable?)")
+	}
+	return nil
 }
 
 // pointFile names a point's telemetry file by its parameter identity.

@@ -44,7 +44,7 @@ var BridgePackages = []string{"ofconn", "wire", "wire/wiretest", "sweep", "obs",
 // the protocol's time base just as badly as a bridge package would.
 var CmdPackages = []string{
 	"juryd", "jurylive", "jurysim", "juryfig", "jurylint", "benchjson",
-	"juryload", "jurytrace",
+	"juryload", "jurytrace", "benchwire",
 }
 
 // CriticalAPIs returns the FullName list of error-returning calls whose
@@ -140,6 +140,9 @@ func ErrcritWaived(modulePath string) map[string]string {
 		"(*" + modulePath + "/internal/obs.EventKind).UnmarshalJSON": "json.Unmarshaler contract; encoding/json surfaces the error",
 		modulePath + "/internal/sweep.PointKey":                      "key derivation; unmarshalable params surface at campaign setup",
 		"(*" + modulePath + "/internal/wire.LineReader).ReadLine":    "read-loop control flow; io.EOF terminates the loop",
+		"(*" + modulePath + "/internal/wire.BinReader).ReadEnvelope": "read-loop control flow; io.EOF terminates the loop",
+		"(*" + modulePath + "/internal/wire.BinDecoder).Decode":      "frame validation; malformed input is expected protocol flow",
+		modulePath + "/internal/wire.ParseCodec":                     "flag validation; a bad -codec value aborts before any connection",
 
 		// Best-effort paths: a failure costs a retry or a diagnostic, not
 		// result correctness.

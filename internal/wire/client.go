@@ -17,14 +17,28 @@ var ErrClientClosed = errors.New("wire: client closed")
 
 // ClientConfig parameterizes a validator client.
 type ClientConfig struct {
-	// MaxLineBytes caps one received protocol line (default
-	// DefaultMaxLineBytes).
+	// Codec selects the wire encoding: CodecJSON (and CodecAuto, the
+	// zero value) keeps the newline-delimited JSON protocol; CodecBinary
+	// sends the one-byte handshake at connect and speaks length-prefixed
+	// binary frames both ways, with writes coalesced into batches.
+	Codec Codec
+	// MaxLineBytes caps one received protocol line or binary frame
+	// (default DefaultMaxLineBytes).
 	MaxLineBytes int
 	// QueueSize bounds the outgoing queue (default DefaultQueueSize).
 	// When the queue is full the oldest entry is shed and counted on
 	// Dropped() — backpressure never blocks the caller and loss is
 	// never silent.
 	QueueSize int
+	// MaxBatch caps how many queued envelopes one binary write coalesces
+	// into a single socket write (default DefaultMaxBatch). JSON writes
+	// one line per envelope regardless.
+	MaxBatch int
+	// FlushIdle, with the binary codec, lets a batch smaller than
+	// MaxBatch linger this long for more envelopes to coalesce before
+	// the write goes out — trading bounded latency for fewer, fuller
+	// writes. Zero (the default) flushes as soon as the queue drains.
+	FlushIdle time.Duration
 	// ReconnectBase/ReconnectMax bound the redial backoff envelope
 	// (defaults DefaultReconnectBase/DefaultReconnectMax).
 	ReconnectBase time.Duration
@@ -61,12 +75,22 @@ type ClientConfig struct {
 	OnStats func(Stats)
 }
 
+// DefaultMaxBatch is the binary codec's write-coalescing cap: one socket
+// write carries at most this many envelopes.
+const DefaultMaxBatch = 64
+
 func (cfg *ClientConfig) fillDefaults() {
+	if cfg.Codec == CodecAuto {
+		cfg.Codec = CodecJSON // a client has no peer byte to mirror
+	}
 	if cfg.MaxLineBytes == 0 {
 		cfg.MaxLineBytes = DefaultMaxLineBytes
 	}
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
 	}
 	if cfg.ReconnectBase <= 0 {
 		cfg.ReconnectBase = DefaultReconnectBase
@@ -114,17 +138,59 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		disconnects: reg.Counter("jury_wire_client_disconnects_total",
 			"Established connections lost."),
 		lineErrors: reg.Counter("jury_wire_client_line_errors_total",
-			"Received lines rejected (oversized or malformed)."),
+			"Received lines or frames rejected (oversized or malformed)."),
 	}
 }
 
+// envRing is the client's bounded outgoing queue: a fixed-capacity ring
+// whose backing array is allocated once and never grows. The previous
+// slice queue advanced its head with queue[1:] and appended, so shed
+// envelopes stayed referenced by the old backing array and sustained
+// shed/append cycles regrew it without bound; the ring overwrites the
+// oldest slot in place instead.
+type envRing struct {
+	buf  []Envelope
+	head int // index of the oldest entry
+	n    int // live entries
+}
+
+func (r *envRing) init(capacity int) { r.buf = make([]Envelope, capacity) }
+
+// push appends env, shedding the oldest entry in place when full; it
+// reports whether an entry was shed.
+func (r *envRing) push(env Envelope) (shed bool) {
+	if r.n == len(r.buf) {
+		r.buf[r.head] = env // shed oldest: fresh state beats stale state
+		r.head = (r.head + 1) % len(r.buf)
+		return true
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = env
+	r.n++
+	return false
+}
+
+// pop removes and returns the oldest entry, zeroing its slot so popped
+// envelopes do not pin their response bodies until overwritten.
+func (r *envRing) pop() (Envelope, bool) {
+	if r.n == 0 {
+		return Envelope{}, false
+	}
+	env := r.buf[r.head]
+	r.buf[r.head] = Envelope{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return env, true
+}
+
+func (r *envRing) len() int { return r.n }
+
 // Client streams responses to a validator service and receives results.
-// Sends enqueue into a bounded queue drained by a single writer
-// goroutine that owns the connection: when the link drops, the writer
-// re-dials with exponential backoff and seeded jitter, and the envelope
-// being written when the link died is retransmitted first. A juryd
-// restart mid-run therefore loses at most the bounded backlog, and every
-// shed envelope is visible on Dropped().
+// Sends enqueue into a bounded ring drained by a single writer goroutine
+// that owns the connection: when the link drops, the writer re-dials
+// with exponential backoff and seeded jitter, and the batch being
+// written when the link died is retransmitted first. A juryd restart
+// mid-run therefore loses at most the bounded backlog, and every shed
+// envelope is visible on Dropped().
 type Client struct {
 	cfg  ClientConfig
 	addr string
@@ -136,11 +202,25 @@ type Client struct {
 	// OnStats observes stats replies (same setting discipline).
 	OnStats func(Stats)
 
-	mu        sync.Mutex
-	queue     []Envelope    // guarded by mu
-	inflight  *Envelope     // guarded by mu
-	pongs     int           // guarded by mu
-	conn      net.Conn      // guarded by mu
+	mu   sync.Mutex
+	ring envRing // guarded by mu
+	// inflight is the write unit taken but not yet acknowledged by a
+	// successful socket write: one envelope under JSON, up to MaxBatch
+	// under the binary codec. Retained across a reconnect and
+	// retransmitted first.
+	inflight []Envelope // guarded by mu
+	// pongDebt records that a heartbeat ping arrived and a pong is owed.
+	// It is a bool, not a counter: a pong proves liveness idempotently,
+	// so a flapping link that delivers a burst of pings is answered
+	// once instead of burning writes on stale pongs ahead of real data.
+	pongDebt bool     // guarded by mu
+	conn     net.Conn // guarded by mu
+	// proven marks the current connection as having carried at least one
+	// successful write or read. The redial backoff only resets after a
+	// proven connection: a server that accepts and immediately drops
+	// (crash loop) keeps the schedule growing instead of being re-dialed
+	// at the base interval forever.
+	proven    bool          // guarded by mu
 	enc       *json.Encoder // guarded by mu
 	connected bool          // guarded by mu
 	closed    bool          // guarded by mu
@@ -167,9 +247,14 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 		kick: make(chan struct{}, 1),
 		stop: make(chan struct{}),
 	}
+	c.ring.init(cfg.QueueSize)
 	conn, err := c.dial()
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial: %w", err)
+	}
+	if err := c.handshake(conn); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("wire: handshake: %w", err)
 	}
 	c.conn = conn
 	c.enc = json.NewEncoder(conn)
@@ -185,6 +270,17 @@ func (c *Client) dial() (net.Conn, error) {
 		return c.cfg.Dial()
 	}
 	return net.Dial("tcp", c.addr)
+}
+
+// handshake announces the binary codec with its magic byte before any
+// frame; a JSON client writes nothing (its first '{' is the tell).
+func (c *Client) handshake(conn net.Conn) error {
+	if c.cfg.Codec != CodecBinary {
+		return nil
+	}
+	armWriteDeadline(conn, c.cfg.WriteTimeout)
+	_, err := conn.Write(binHandshake)
+	return err
 }
 
 // Send streams one response to the validator. It never blocks on the
@@ -215,11 +311,9 @@ func (c *Client) enqueue(env Envelope) error {
 		c.mu.Unlock()
 		return ErrClientClosed
 	}
-	if len(c.queue) >= c.cfg.QueueSize {
-		c.queue = c.queue[1:] // shed oldest: fresh state beats stale state
+	if c.ring.push(env) {
 		c.m.dropped.Inc()
 	}
-	c.queue = append(c.queue, env)
 	c.mu.Unlock()
 	c.kickWriter()
 	return nil
@@ -249,15 +343,13 @@ func (c *Client) Connected() bool {
 	return c.connected
 }
 
-// Backlog returns the number of envelopes queued but not yet written.
+// Backlog returns the number of envelopes queued or in flight but not
+// yet written. Owed heartbeat pongs are liveness state, not payload, and
+// are not counted.
 func (c *Client) Backlog() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := len(c.queue) + c.pongs
-	if c.inflight != nil {
-		n++
-	}
-	return n
+	return c.ring.len() + len(c.inflight)
 }
 
 // Close closes the connection, stops the writer and reader, and counts
@@ -272,11 +364,8 @@ func (c *Client) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.connected = false
-	undelivered := int64(len(c.queue))
-	if c.inflight != nil {
-		undelivered++
-	}
-	c.queue = nil
+	undelivered := int64(c.ring.len() + len(c.inflight))
+	c.ring = envRing{}
 	c.inflight = nil
 	c.mu.Unlock()
 	if undelivered > 0 {
@@ -293,7 +382,10 @@ func (c *Client) Close() error {
 // writeLoop is the single owner of the outgoing side: it drains the
 // queue onto the current connection, and when the link is down it
 // re-dials on the backoff schedule. Heartbeat pongs jump the queue so a
-// backlogged client still proves liveness.
+// backlogged client still proves liveness. Under the binary codec,
+// queued envelopes coalesce into one socket write of up to MaxBatch
+// frames (lingering FlushIdle for more when the queue drained early),
+// and the whole batch is the retransmit unit across a reconnect.
 func (c *Client) writeLoop() {
 	defer c.done.Done()
 	bo := NewBackoff(c.cfg.ReconnectBase, c.cfg.ReconnectMax, c.cfg.Seed)
@@ -304,9 +396,9 @@ func (c *Client) writeLoop() {
 			return
 		}
 		conn, enc := c.conn, c.enc
-		var env *Envelope
+		var batch []Envelope
 		if conn != nil {
-			env = c.takeLocked()
+			batch = c.takeBatchLocked()
 		}
 		c.mu.Unlock()
 
@@ -315,51 +407,116 @@ func (c *Client) writeLoop() {
 			if !c.redial(bo) {
 				return
 			}
-		case env == nil:
+		case len(batch) == 0:
 			select {
 			case <-c.stop:
 				return
 			case <-c.kick:
 			}
 		default:
-			armWriteDeadline(conn, c.cfg.WriteTimeout)
-			if err := enc.Encode(*env); err != nil {
-				// The in-flight envelope is retained and retried after
-				// the reconnect; only queue shedding loses data.
-				c.dropLink(conn)
-				continue
+			if c.cfg.Codec == CodecBinary {
+				batch = c.linger(batch)
+				if batch == nil {
+					return // closed during the linger
+				}
+				bufp := getFrameBuf()
+				buf := *bufp
+				for i := range batch {
+					buf = AppendEnvelope(buf, &batch[i])
+				}
+				armWriteDeadline(conn, c.cfg.WriteTimeout)
+				_, err := conn.Write(buf)
+				*bufp = buf[:0]
+				putFrameBuf(bufp)
+				if err != nil {
+					// The in-flight batch is retained and retried after
+					// the reconnect; only queue shedding loses data.
+					c.dropLink(conn)
+					continue
+				}
+			} else {
+				armWriteDeadline(conn, c.cfg.WriteTimeout)
+				if err := enc.Encode(batch[0]); err != nil {
+					c.dropLink(conn)
+					continue
+				}
 			}
 			c.mu.Lock()
-			c.inflight = nil
+			c.inflight = c.inflight[:0]
+			c.proven = true // first delivered write proves the connection
 			c.mu.Unlock()
 		}
 	}
 }
 
-// takeLocked picks the next envelope to write: a retained in-flight
-// envelope first, then pending heartbeat pongs, then the queue head
-// (which moves to in-flight until its write succeeds). Runs with c.mu
-// held (proven by the guardedby call graph).
-func (c *Client) takeLocked() *Envelope {
-	if c.inflight != nil {
+// takeBatchLocked picks the next write unit: the retained in-flight
+// batch first, then an owed heartbeat pong, then queued envelopes — one
+// under JSON (a line per envelope), up to MaxBatch under the binary
+// codec. The returned slice is c.inflight, retained until its write
+// succeeds. Runs with c.mu held (proven by the guardedby call graph).
+func (c *Client) takeBatchLocked() []Envelope {
+	if len(c.inflight) > 0 {
 		return c.inflight
 	}
-	if c.pongs > 0 {
-		c.pongs--
-		return &Envelope{Type: TypePong}
-	}
-	if len(c.queue) > 0 {
-		env := c.queue[0]
-		c.queue = c.queue[1:]
-		c.inflight = &env
+	if c.pongDebt {
+		c.pongDebt = false
+		c.inflight = append(c.inflight[:0], Envelope{Type: TypePong})
 		return c.inflight
 	}
-	return nil
+	c.fillFromRingLocked()
+	return c.inflight
 }
 
-// redial re-establishes the connection on the backoff schedule. Returns
-// false once the client closes.
+// fillFromRingLocked tops the in-flight batch up from the ring to the
+// codec's batch cap. Runs with c.mu held.
+func (c *Client) fillFromRingLocked() {
+	max := 1
+	if c.cfg.Codec == CodecBinary {
+		max = c.cfg.MaxBatch
+	}
+	for len(c.inflight) < max {
+		env, ok := c.ring.pop()
+		if !ok {
+			return
+		}
+		c.inflight = append(c.inflight, env)
+	}
+}
+
+// linger implements flush-on-idle for the binary codec: a batch that
+// stopped short of MaxBatch (the queue drained) waits FlushIdle for more
+// envelopes to coalesce, then tops up once and flushes. Returns nil only
+// when the client closed during the wait.
+func (c *Client) linger(batch []Envelope) []Envelope {
+	if c.cfg.FlushIdle <= 0 || len(batch) >= c.cfg.MaxBatch || batch[0].Type == TypePong {
+		return batch
+	}
+	if !c.cfg.Sleep(c.cfg.FlushIdle, c.stop) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.fillFromRingLocked()
+	return c.inflight
+}
+
+// redial re-establishes the connection on the backoff schedule. The
+// schedule only resets after a proven connection (one that carried a
+// successful write or read): an accept-then-close flap therefore pays
+// the grown backoff before the next dial instead of hot-looping at the
+// base interval. Returns false once the client closes.
 func (c *Client) redial(bo *Backoff) bool {
+	c.mu.Lock()
+	proven := c.proven
+	c.mu.Unlock()
+	if proven {
+		bo.Reset()
+	} else if !c.cfg.Sleep(bo.Next(), c.stop) {
+		return false
+	}
 	for {
 		select {
 		case <-c.stop:
@@ -367,6 +524,12 @@ func (c *Client) redial(bo *Backoff) bool {
 		default:
 		}
 		conn, err := c.dial()
+		if err == nil {
+			err = c.handshake(conn)
+			if err != nil {
+				_ = conn.Close()
+			}
+		}
 		if err != nil {
 			c.m.dialErrors.Inc()
 			if !c.cfg.Sleep(bo.Next(), c.stop) {
@@ -374,7 +537,6 @@ func (c *Client) redial(bo *Backoff) bool {
 			}
 			continue
 		}
-		bo.Reset()
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
@@ -384,6 +546,7 @@ func (c *Client) redial(bo *Backoff) bool {
 		c.conn = conn
 		c.enc = json.NewEncoder(conn)
 		c.connected = true
+		c.proven = false // health is proven by traffic, not by the dial
 		c.mu.Unlock()
 		c.m.reconnects.Inc()
 		c.done.Add(1)
@@ -412,12 +575,32 @@ func (c *Client) dropLink(conn net.Conn) {
 	}
 }
 
+// markProven records that conn carried at least one successful read, so
+// the next redial starts from a reset backoff schedule.
+func (c *Client) markProven(conn net.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.proven = true
+	}
+	c.mu.Unlock()
+}
+
 // readLoop reads pushed results, stats replies and heartbeat pings from
 // one connection until it dies.
 func (c *Client) readLoop(conn net.Conn) {
 	defer c.done.Done()
 	defer c.dropLink(conn)
+	if c.cfg.Codec == CodecBinary {
+		c.readFrames(conn)
+		return
+	}
+	c.readLines(conn)
+}
+
+// readLines is the JSON read side: newline-delimited envelopes.
+func (c *Client) readLines(conn net.Conn) {
 	lr := NewLineReader(conn, c.cfg.MaxLineBytes)
+	proved := false
 	for {
 		line, err := lr.ReadLine()
 		if err != nil {
@@ -427,6 +610,10 @@ func (c *Client) readLoop(conn net.Conn) {
 			}
 			return
 		}
+		if !proved {
+			proved = true
+			c.markProven(conn)
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -435,21 +622,55 @@ func (c *Client) readLoop(conn net.Conn) {
 			c.m.lineErrors.Inc()
 			continue
 		}
-		switch env.Type {
-		case TypeResult:
-			if cb := c.onResult(); env.Result != nil && cb != nil {
-				cb(*env.Result)
+		c.handleEnvelope(&env, false)
+	}
+}
+
+// readFrames is the binary read side: length-prefixed frames decoded
+// into borrowed envelopes.
+func (c *Client) readFrames(conn net.Conn) {
+	br := NewBinReader(conn, c.cfg.MaxLineBytes)
+	proved := false
+	for {
+		env, err := br.ReadEnvelope()
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLong) || errors.Is(err, ErrMalformedFrame) {
+				c.m.lineErrors.Inc()
+				continue
 			}
-		case TypeStats:
-			if cb := c.onStats(); env.Stats != nil && cb != nil {
-				cb(*env.Stats)
-			}
-		case TypePing:
-			c.mu.Lock()
-			c.pongs++
-			c.mu.Unlock()
-			c.kickWriter()
+			return
 		}
+		if !proved {
+			proved = true
+			c.markProven(conn)
+		}
+		c.handleEnvelope(env, true)
+	}
+}
+
+// handleEnvelope dispatches one received envelope. borrowed marks
+// envelopes decoded into the binary reader's scratch (BinDecoder's
+// ownership contract): anything handed to a callback, which may retain
+// it, is deep-copied first.
+func (c *Client) handleEnvelope(env *Envelope, borrowed bool) {
+	switch env.Type {
+	case TypeResult:
+		if cb := c.onResult(); env.Result != nil && cb != nil {
+			r := *env.Result
+			if borrowed {
+				r = CloneResult(r)
+			}
+			cb(r)
+		}
+	case TypeStats:
+		if cb := c.onStats(); env.Stats != nil && cb != nil {
+			cb(*env.Stats) // value copy; Stats holds no strings
+		}
+	case TypePing:
+		c.mu.Lock()
+		c.pongDebt = true // capped at one: a pong is idempotent liveness
+		c.mu.Unlock()
+		c.kickWriter()
 	}
 }
 

@@ -30,6 +30,9 @@ type LineReader struct {
 
 // NewLineReader frames r with a max payload of max bytes per line
 // (excluding the line terminator). max <= 0 selects DefaultMaxLineBytes.
+// An r that is already an adequately sized *bufio.Reader is used
+// directly (the codec handshake peeks through one) rather than
+// double-buffered.
 func NewLineReader(r io.Reader, max int) *LineReader {
 	if max <= 0 {
 		max = DefaultMaxLineBytes
@@ -40,6 +43,9 @@ func NewLineReader(r io.Reader, max int) *LineReader {
 	}
 	if size < 16 {
 		size = 16
+	}
+	if br, ok := r.(*bufio.Reader); ok && br.Size() >= size {
+		return &LineReader{r: br, max: max}
 	}
 	return &LineReader{r: bufio.NewReaderSize(r, size), max: max}
 }

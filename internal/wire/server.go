@@ -1,11 +1,13 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +22,16 @@ import (
 
 // ServerConfig parameterizes a validator service.
 type ServerConfig struct {
+	// Codec is the service's codec stance. CodecAuto (the default)
+	// mirrors each connection's first byte — a BinMagic handshake
+	// switches that connection to binary frames, anything else keeps
+	// JSON lines — so old JSON-only clients interoperate with no
+	// configuration. CodecJSON is strict: a binary handshake is refused
+	// and counted (jury_wire_line_errors_total{reason="codec"}).
+	// CodecBinary additionally speaks binary on pushes that race ahead
+	// of a peer's first byte (heartbeats to a silent client); JSON peers
+	// are still mirrored once they speak.
+	Codec Codec
 	// Validator carries K, timeout, adaptive settings.
 	Validator core.ValidatorConfig
 	// Members lists the controller IDs of the deployment; mastership is
@@ -126,6 +138,7 @@ type serverMetrics struct {
 	oversized     *obs.Counter
 	malformed     *obs.Counter
 	readErrors    *obs.Counter
+	codecRejected *obs.Counter
 	pushErrors    *obs.Counter
 	reapedIdle    *obs.Counter
 	pingsSent     *obs.Counter
@@ -147,9 +160,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Accept failures (backed off, never hot-spun)."),
 		responses: reg.Counter("jury_wire_responses_total",
 			"Controller responses received over the wire."),
-		oversized:  lineErr("oversize"),
-		malformed:  lineErr("malformed"),
-		readErrors: lineErr("read"),
+		oversized:     lineErr("oversize"),
+		malformed:     lineErr("malformed"),
+		readErrors:    lineErr("read"),
+		codecRejected: lineErr("codec"),
 		pushErrors: reg.Counter("jury_wire_push_errors_total",
 			"Result/ping/stats writes that failed and dropped the connection."),
 		reapedIdle: reg.Counter("jury_wire_conns_reaped_idle_total",
@@ -165,6 +179,14 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 type srvConn struct {
 	conn net.Conn
 	enc  *json.Encoder
+	// codec is the connection's resolved wire encoding. It starts from
+	// the server's stance (binary only under CodecBinary) and is
+	// overwritten by the codec the peer's first byte announces, so
+	// pushes always mirror what the client speaks once it has spoken.
+	codec Codec // guarded by connsMu
+	// wbuf is the binary push scratch, reused across pushes so the
+	// steady-state encode path allocates nothing.
+	wbuf []byte // guarded by connsMu
 	// lastSeen is the clock reading of the last received line; lastPing
 	// is when the last heartbeat probe went out. Both are protected by
 	// the server's connsMu.
@@ -465,7 +487,7 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		bo.Reset()
-		sc := &srvConn{conn: conn, enc: json.NewEncoder(conn)}
+		sc := &srvConn{conn: conn, enc: json.NewEncoder(conn), codec: s.preHandshakeCodec()}
 		s.connsMu.Lock()
 		if s.closed {
 			s.connsMu.Unlock()
@@ -543,12 +565,29 @@ func (s *Server) heartbeatSweep() {
 	}
 }
 
+// preHandshakeCodec is the codec a fresh connection is pushed with
+// before its first byte resolves what it actually speaks: JSON unless
+// the server is configured binary-first.
+func (s *Server) preHandshakeCodec() Codec {
+	if s.cfg.Codec == CodecBinary {
+		return CodecBinary
+	}
+	return CodecJSON
+}
+
 // pushLocked encodes one envelope to a registered connection under a
-// write deadline; a failed or timed-out write drops the connection. Runs
-// with s.connsMu held.
+// write deadline, in the connection's resolved codec; a failed or
+// timed-out write drops the connection. Runs with s.connsMu held.
 func (s *Server) pushLocked(conn net.Conn, sc *srvConn, env Envelope) {
 	armWriteDeadline(conn, s.cfg.WriteTimeout)
-	if err := sc.enc.Encode(env); err != nil {
+	var err error
+	if sc.codec == CodecBinary {
+		sc.wbuf = AppendEnvelope(sc.wbuf[:0], &env)
+		_, err = conn.Write(sc.wbuf)
+	} else {
+		err = sc.enc.Encode(env)
+	}
+	if err != nil {
 		s.m.pushErrors.Inc()
 		s.dropConnLocked(conn)
 	}
@@ -565,11 +604,14 @@ func (s *Server) dropConnLocked(conn net.Conn) {
 	_ = conn.Close()
 }
 
-// serveConn reads protocol lines until the connection dies. Framing and
-// decode failures are counted per reason and never silent: an oversized
-// line is skipped, a malformed line is tolerated, and a genuine read
-// error surfaces in jury_wire_line_errors_total{reason="read"} before
-// the connection is torn down.
+// serveConn resolves the connection's codec from its first byte (the
+// compat handshake: BinMagic announces binary frames, anything else is a
+// JSON line) and reads protocol envelopes until the connection dies.
+// Framing and decode failures are counted per reason and never silent:
+// an oversized line or frame is skipped, a malformed one is tolerated,
+// and a genuine read error surfaces in
+// jury_wire_line_errors_total{reason="read"} before the connection is
+// torn down.
 func (s *Server) serveConn(sc *srvConn) {
 	defer s.done.Done()
 	defer func() {
@@ -577,7 +619,41 @@ func (s *Server) serveConn(sc *srvConn) {
 		s.dropConnLocked(sc.conn)
 		s.connsMu.Unlock()
 	}()
-	lr := NewLineReader(sc.conn, s.cfg.MaxLineBytes)
+	br := bufio.NewReaderSize(sc.conn, 64*1024)
+	first, err := br.Peek(1)
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.m.readErrors.Inc()
+		}
+		return
+	}
+	if first[0] == BinMagic {
+		if s.cfg.Codec == CodecJSON {
+			// A strict-JSON deployment refuses the binary handshake
+			// loudly instead of scanning frames as garbled lines.
+			s.m.codecRejected.Inc()
+			return
+		}
+		_, _ = br.Discard(1)
+		s.setConnCodec(sc, CodecBinary)
+		s.serveFrames(sc, br)
+		return
+	}
+	s.setConnCodec(sc, CodecJSON)
+	s.serveLines(sc, br)
+}
+
+// setConnCodec records the codec the peer's first byte announced, so
+// pushes mirror it from here on.
+func (s *Server) setConnCodec(sc *srvConn, codec Codec) {
+	s.connsMu.Lock()
+	sc.codec = codec
+	s.connsMu.Unlock()
+}
+
+// serveLines is the JSON read side: newline-delimited envelopes.
+func (s *Server) serveLines(sc *srvConn, r *bufio.Reader) {
+	lr := NewLineReader(r, s.cfg.MaxLineBytes)
 	for {
 		line, err := lr.ReadLine()
 		if err != nil {
@@ -602,46 +678,87 @@ func (s *Server) serveConn(sc *srvConn) {
 			s.m.malformed.Inc()
 			continue // tolerate malformed lines from misbehaving peers
 		}
-		switch env.Type {
-		case TypeResponse:
-			if env.Response == nil {
+		s.handleEnvelope(sc, &env, false)
+	}
+}
+
+// serveFrames is the binary read side: length-prefixed frames decoded
+// into borrowed envelopes (BinDecoder's ownership contract — anything
+// the dispatch retains is cloned in handleEnvelope).
+func (s *Server) serveFrames(sc *srvConn, r *bufio.Reader) {
+	br := NewBinReader(r, s.cfg.MaxLineBytes)
+	for {
+		env, err := br.ReadEnvelope()
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrFrameTooLong):
+				s.m.oversized.Inc()
+				s.touch(sc)
 				continue
+			case errors.Is(err, ErrMalformedFrame):
+				s.m.malformed.Inc()
+				s.touch(sc)
+				continue
+			case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+				return
+			default:
+				s.m.readErrors.Inc()
+				return
 			}
-			s.m.responses.Inc()
-			s.mu.Lock()
-			s.advance()
-			if tc := env.Trace; tc != nil && tc.Origin != "" {
-				// First sight of an origin fixes its clock-base shift:
-				// our elapsed time minus the sender's virtual clock at
-				// send time. One sample suffices — both clocks advance
-				// at the same rate, only their bases differ.
-				if _, ok := s.traceShifts[tc.Origin]; !ok {
-					elapsed := s.cfg.Clock().Sub(s.started)
-					s.traceShifts[tc.Origin] = int64(elapsed) - tc.BaseNS
-				}
-			}
-			if s.plane != nil {
-				s.plane.Submit(*env.Response)
-			} else {
-				s.validator.Submit(*env.Response)
-			}
-			s.mu.Unlock()
-		case TypeStats:
-			st := s.Stats()
-			s.connsMu.Lock()
-			if cur, ok := s.conns[sc.conn]; ok {
-				s.pushLocked(sc.conn, cur, Envelope{Type: TypeStats, Stats: &st})
-			}
-			s.connsMu.Unlock()
-		case TypePing:
-			s.connsMu.Lock()
-			if cur, ok := s.conns[sc.conn]; ok {
-				s.pushLocked(sc.conn, cur, Envelope{Type: TypePong})
-			}
-			s.connsMu.Unlock()
-		case TypePong:
-			s.m.pongsReceived.Inc()
 		}
+		s.touch(sc)
+		s.handleEnvelope(sc, env, true)
+	}
+}
+
+// handleEnvelope dispatches one received envelope. borrowed marks
+// envelopes whose strings alias the binary reader's frame buffer: the
+// validator retains submitted responses and the shift map retains origin
+// keys, so those are deep-copied before crossing the borrow window.
+func (s *Server) handleEnvelope(sc *srvConn, env *Envelope, borrowed bool) {
+	switch env.Type {
+	case TypeResponse:
+		if env.Response == nil {
+			return
+		}
+		s.m.responses.Inc()
+		resp := *env.Response
+		if borrowed {
+			resp = CloneResponse(resp)
+		}
+		s.mu.Lock()
+		s.advance()
+		if tc := env.Trace; tc != nil && tc.Origin != "" {
+			// First sight of an origin fixes its clock-base shift:
+			// our elapsed time minus the sender's virtual clock at
+			// send time. One sample suffices — both clocks advance
+			// at the same rate, only their bases differ.
+			if _, ok := s.traceShifts[tc.Origin]; !ok {
+				elapsed := s.cfg.Clock().Sub(s.started)
+				s.traceShifts[strings.Clone(tc.Origin)] = int64(elapsed) - tc.BaseNS
+			}
+		}
+		if s.plane != nil {
+			s.plane.Submit(resp)
+		} else {
+			s.validator.Submit(resp)
+		}
+		s.mu.Unlock()
+	case TypeStats:
+		st := s.Stats()
+		s.connsMu.Lock()
+		if cur, ok := s.conns[sc.conn]; ok {
+			s.pushLocked(sc.conn, cur, Envelope{Type: TypeStats, Stats: &st})
+		}
+		s.connsMu.Unlock()
+	case TypePing:
+		s.connsMu.Lock()
+		if cur, ok := s.conns[sc.conn]; ok {
+			s.pushLocked(sc.conn, cur, Envelope{Type: TypePong})
+		}
+		s.connsMu.Unlock()
+	case TypePong:
+		s.m.pongsReceived.Inc()
 	}
 }
 

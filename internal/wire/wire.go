@@ -1,18 +1,26 @@
 // Package wire runs JURY's out-of-band validator as a real network
-// service: controller modules stream responses as JSON lines over TCP, and
-// the validator pushes alarms back to every connected client. This is the
+// service: controller modules stream responses over TCP, and the
+// validator pushes alarms back to every connected client. This is the
 // deployment shape of Fig. 2 — the validator on a separate host reachable
 // over an out-of-band network — whereas the simulation embeds the
 // validator in-process.
 //
+// Two codecs share the socket, selected per connection by a one-byte
+// compat handshake (see Codec): the original newline-delimited JSON
+// protocol, and a length-prefixed binary framing (AppendEnvelope /
+// BinReader) whose hot path allocates nothing — pooled encode buffers,
+// batched write coalescing in the client, and decode that borrows from
+// the connection's read buffer. Old JSON-only peers interoperate with
+// binary-capable ones with no configuration.
+//
 // The bridge is built to degrade loudly, never silently, when the network
 // misbehaves:
 //
-//   - Framing is explicit: lines are read through a LineReader with a
-//     configurable MaxLineBytes cap. An oversized or malformed line is
-//     rejected and counted (per reason, on the obs registry) without
-//     killing the connection; genuine read errors are counted before the
-//     connection dies.
+//   - Framing is explicit: lines are read through a LineReader (frames
+//     through a BinReader) with a configurable MaxLineBytes cap. An
+//     oversized or malformed line or frame is rejected and counted (per
+//     reason, on the obs registry) without killing the connection;
+//     genuine read errors are counted before the connection dies.
 //   - The Client reconnects: sends go through a bounded outgoing queue
 //     with shed-oldest backpressure and a Dropped() counter, and a single
 //     writer goroutine re-dials with exponential backoff and seeded
